@@ -1,0 +1,141 @@
+//! Microbenchmarks of the individual mechanisms: width prediction,
+//! partial value encoding, partial address memoization, branch
+//! prediction, cache access, and instruction encode/decode.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use th_sim::{BranchPredictor, Btb, Cache, CacheConfig};
+use th_width::{PartialAddressMemoizer, UpperEncoding, Width, WidthPredictor};
+
+fn width_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("width_predictor");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("predict_update_1k", |b| {
+        let mut p = WidthPredictor::new(4096);
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let pc = (i * 8) & 0xffff;
+                let w = p.predict(black_box(pc));
+                p.update(pc, if i % 7 == 0 { Width::Full } else { Width::Low });
+                black_box(w);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn partial_value_encoding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partial_value_encoding");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("classify_reconstruct_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                let value = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let addr = 0x7fff_0000_0000u64 | (i * 8);
+                let enc = UpperEncoding::classify(black_box(value), black_box(addr));
+                if let Some(v) = enc.reconstruct(value as u16, addr) {
+                    acc ^= v;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn pam(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pam");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("broadcast_1k", |b| {
+        let mut pam = PartialAddressMemoizer::new();
+        b.iter(|| {
+            for i in 0..1024u64 {
+                if i % 4 == 0 {
+                    pam.broadcast_store(black_box(0x7fff_0000_0000 + i * 8));
+                } else {
+                    black_box(pam.broadcast_load(0x7fff_0000_0000 + i * 8));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn branch_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("branch_predictor");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("hybrid_predict_update_1k", |b| {
+        let mut p = BranchPredictor::new();
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let pc = (i * 8) & 0x3fff;
+                let pred = p.predict(black_box(pc));
+                p.update(pc, pred, i % 3 != 0);
+            }
+        })
+    });
+    g.bench_function("btb_lookup_update_1k", |b| {
+        let mut btb = Btb::new(512, 4);
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let pc = (i * 8) & 0x7fff;
+                black_box(btb.lookup(pc));
+                btb.update(pc, pc + 0x40);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn cache_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("l1d_access_1k", |b| {
+        let mut cache =
+            Cache::new(CacheConfig { sets: 64, ways: 8, line_bytes: 64, latency: 3 });
+        b.iter(|| {
+            for i in 0..1024u64 {
+                black_box(cache.access(black_box(i * 72 % 65536), i % 5 == 0));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn encode_decode(c: &mut Criterion) {
+    use th_isa::{decode, encode, Inst, Op, Reg};
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("encode_decode_1k", |b| {
+        let insts: Vec<Inst> = (0..1024)
+            .map(|i| Inst {
+                op: Op::all()[i % Op::all().len()],
+                rd: Reg::from_index(i % 64).unwrap(),
+                rs1: Reg::from_index((i * 7) % 64).unwrap(),
+                rs2: Reg::from_index((i * 13) % 64).unwrap(),
+                imm: i as i32,
+            })
+            .collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for inst in &insts {
+                let word = encode(black_box(inst));
+                acc ^= word;
+                black_box(decode(word).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    width_predictor,
+    partial_value_encoding,
+    pam,
+    branch_predictor,
+    cache_access,
+    encode_decode
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Thermal-solver benchmarks: steady-state solve cost vs grid
+//! resolution for the 4-die stack, transient stepping, and power-map
+//! rasterisation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use th_stack3d::Floorplan;
+use th_thermal::{
+    Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver, TransientSolver,
+};
+
+fn four_die_model(width_m: f64, height_m: f64) -> StackModel {
+    StackModel::new(
+        width_m,
+        height_m,
+        vec![
+            ModelLayer::passive(1.0e-3, Material::COPPER),
+            ModelLayer::passive(50e-6, Material::TIM_ALLOY),
+            ModelLayer::passive(100e-6, Material::SILICON),
+            ModelLayer::active(2e-6, Material::SILICON, 0),
+            ModelLayer::passive(5e-6, Material::BOND_INTERFACE),
+            ModelLayer::active(2e-6, Material::SILICON, 1),
+            ModelLayer::passive(10e-6, Material::SILICON),
+            ModelLayer::passive(20e-6, Material::BOND_INTERFACE),
+            ModelLayer::passive(10e-6, Material::SILICON),
+            ModelLayer::active(2e-6, Material::SILICON, 2),
+            ModelLayer::passive(5e-6, Material::BOND_INTERFACE),
+            ModelLayer::active(2e-6, Material::SILICON, 3),
+            ModelLayer::passive(50e-6, Material::SILICON),
+        ],
+        Default::default(),
+    )
+}
+
+fn power(rows: usize, cols: usize, w: f64, h: f64) -> Vec<PowerGrid> {
+    (0..4)
+        .map(|die| {
+            let mut g = PowerGrid::new(rows, cols, w, h);
+            // A hotspot block plus background power per die.
+            g.paint_rect(0.0, 0.0, w, h, 10.0);
+            g.paint_rect(w * 0.2, h * 0.3, w * 0.35, h * 0.5, 4.0 + die as f64);
+            g
+        })
+        .collect()
+}
+
+fn steady_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steady_state");
+    g.sample_size(10);
+    let (w, h) = (5.5e-3, 5.8e-3);
+    for rows in [16usize, 24, 32] {
+        let solver = SteadySolver::new(four_die_model(w, h), rows, rows);
+        let grids = power(rows, rows, w, h);
+        g.bench_with_input(BenchmarkId::new("four_die", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    solver.solve_steady(&grids, &SolveOptions::default()).expect("converges"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn transient_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transient");
+    g.sample_size(10);
+    let (w, h) = (5.5e-3, 5.8e-3);
+    let rows = 20;
+    let grids = power(rows, rows, w, h);
+    g.bench_function("ten_ms_steps", |b| {
+        b.iter(|| {
+            let solver = SteadySolver::new(four_die_model(w, h), rows, rows);
+            let mut tr = TransientSolver::from_ambient(solver);
+            for _ in 0..10 {
+                tr.step(&grids, 1e-3, &SolveOptions::default()).expect("step converges");
+            }
+            black_box(tr.current_map())
+        })
+    });
+    g.finish();
+}
+
+fn rasterisation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("power_map");
+    let fp = Floorplan::stacked_dual_core();
+    let (w, h) = (fp.width_mm() * 1e-3, fp.height_mm() * 1e-3);
+    g.bench_function("paint_full_floorplan_40x40", |b| {
+        b.iter(|| {
+            let mut grids: Vec<PowerGrid> =
+                (0..4).map(|_| PowerGrid::new(40, 40, w, h)).collect();
+            for p in fp.placements() {
+                let r = p.rect;
+                grids[p.die].paint_rect(
+                    r.x * 1e-3,
+                    r.y * 1e-3,
+                    (r.x + r.w) * 1e-3,
+                    (r.y + r.h) * 1e-3,
+                    black_box(1.5),
+                );
+            }
+            black_box(grids)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, steady_state, transient_step, rasterisation);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Extension study: dynamic thermal management under a temperature cap.
+//! Compares the unherded and herded 3D designs' delivered throughput
+//! when a DTM controller enforces the cap by throttling the clock.
+//!
+//! ```text
+//! cargo run --release -p th-bench --bin dtm [cap-kelvin] [workload]
+//! ```
+
+use th_workloads::workload_by_name;
+
+fn main() {
+    let cap: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(376.0);
+    let workload = std::env::args().nth(2).unwrap_or_else(|| "mpeg2-like".into());
+    let w = workload_by_name(&workload).expect("known workload");
+    println!("{}", thermal_herding::experiments::dtm::run(&w, cap, 24));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 8: IPC (a), instructions/ns (b), and speedup (c)
+//! per benchmark group for the Base/TH/Pipe/Fast/3D design points, plus
+//! the §3.8 width-prediction accuracy statistic.
+//!
+//! ```text
+//! cargo run --release -p th-bench --bin fig8 [instruction-budget]
+//! ```
+//!
+//! By default each workload runs to its own full instruction budget
+//! (after a 20 % warmup); pass a smaller budget for a quicker sweep.
+
+fn main() {
+    let budget: u64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(u64::MAX);
+    println!("{}", thermal_herding::experiments::fig8::run(budget));
+}

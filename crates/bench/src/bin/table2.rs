@@ -1,0 +1,10 @@
+//! Regenerates Table 2: per-block 2D vs 3D circuit latencies and the
+//! derived 47.9 % clock-frequency increase (§5.1.1).
+//!
+//! ```text
+//! cargo run --release -p th-bench --bin table2
+//! ```
+
+fn main() {
+    println!("{}", thermal_herding::experiments::table2::run());
+}

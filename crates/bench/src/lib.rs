@@ -1,0 +1,1 @@
+//! Experiment binaries and benches for the Thermal Herding reproduction.

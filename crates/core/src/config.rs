@@ -1,0 +1,139 @@
+//! The evaluated design points.
+
+use th_power::PowerConfig;
+use th_sim::SimConfig;
+use th_stack3d::{derive_frequency, BlockDelayModel};
+
+/// One of the paper's processor design points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Variant {
+    /// Planar baseline at 2.66 GHz (Figure 8 "Base").
+    Base,
+    /// Baseline clock + Thermal Herding mechanisms (Figure 8 "TH") —
+    /// isolates the IPC cost of width mispredictions.
+    Th,
+    /// Baseline clock + 3D pipeline optimisations (Figure 8 "Pipe").
+    Pipe,
+    /// Baseline microarchitecture at the 3D clock (Figure 8 "Fast") —
+    /// isolates the IPC cost of relatively slower DRAM.
+    Fast,
+    /// 3D implementation *without* Thermal Herding (Figures 9b/10b).
+    ThreeDNoTh,
+    /// The full 3D Thermal Herding processor (Figure 8 "3D", Figures
+    /// 9c/10c).
+    ThreeD,
+}
+
+impl Variant {
+    /// The five design points of Figure 8, in presentation order.
+    pub fn figure8() -> &'static [Variant] {
+        &[Variant::Base, Variant::Th, Variant::Pipe, Variant::Fast, Variant::ThreeD]
+    }
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Base => "Base",
+            Variant::Th => "TH",
+            Variant::Pipe => "Pipe",
+            Variant::Fast => "Fast",
+            Variant::ThreeDNoTh => "3D-noTH",
+            Variant::ThreeD => "3D",
+        }
+    }
+
+    /// Whether this point is physically a 4-die stack (for power/thermal
+    /// pricing). The `Th`/`Pipe`/`Fast` points are IPC isolation studies
+    /// of the planar design.
+    pub fn is_three_d(self) -> bool {
+        matches!(self, Variant::ThreeDNoTh | Variant::ThreeD)
+    }
+
+    /// Whether Thermal Herding is active.
+    pub fn herding(self) -> bool {
+        matches!(self, Variant::Th | Variant::ThreeD)
+    }
+
+    /// The timing-simulator configuration for this point.
+    pub fn sim_config(self) -> SimConfig {
+        match self {
+            Variant::Base => SimConfig::baseline(),
+            Variant::Th => SimConfig::thermal_herding(),
+            Variant::Pipe => SimConfig::pipe(),
+            Variant::Fast => SimConfig::fast(three_d_clock_ghz()),
+            Variant::ThreeDNoTh => {
+                let mut cfg = SimConfig::three_d(three_d_clock_ghz());
+                cfg.herding = th_sim::HerdingConfig::off();
+                cfg
+            }
+            Variant::ThreeD => SimConfig::three_d(three_d_clock_ghz()),
+        }
+    }
+
+    /// The power-model configuration for this point.
+    pub fn power_config(self) -> PowerConfig {
+        let clock = self.sim_config().clock_ghz;
+        if self.is_three_d() {
+            PowerConfig::three_d(clock, self.herding())
+        } else {
+            PowerConfig::planar(clock)
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The 3D clock frequency derived from the critical loops (§5.1.1:
+/// 2.66 GHz → ≈3.93 GHz, a 47.9 % increase).
+pub fn three_d_clock_ghz() -> f64 {
+    derive_frequency(&BlockDelayModel::new()).three_d_ghz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_clock_matches_paper() {
+        let f = three_d_clock_ghz();
+        assert!((f - 3.93).abs() < 0.05, "3D clock {f:.3} GHz");
+    }
+
+    #[test]
+    fn variants_map_to_expected_configs() {
+        assert_eq!(Variant::Base.sim_config().clock_ghz, 2.66);
+        assert!(!Variant::Base.sim_config().herding.enabled);
+        assert!(Variant::Th.sim_config().herding.enabled);
+        assert_eq!(Variant::Th.sim_config().clock_ghz, 2.66);
+        assert!(Variant::Fast.sim_config().clock_ghz > 3.8);
+        assert!(!Variant::Fast.sim_config().herding.enabled);
+        assert!(Variant::ThreeD.sim_config().herding.enabled);
+        assert!(!Variant::ThreeDNoTh.sim_config().herding.enabled);
+        // ThreeDNoTh still gets the pipeline optimisations and clock.
+        assert!(Variant::ThreeDNoTh.sim_config().clock_ghz > 3.8);
+        assert_eq!(
+            Variant::ThreeDNoTh.sim_config().pipeline,
+            Variant::ThreeD.sim_config().pipeline
+        );
+    }
+
+    #[test]
+    fn power_configs_follow_physics_not_isolation() {
+        // Th/Pipe/Fast are planar IPC studies.
+        assert!(!Variant::Th.power_config().three_d);
+        assert!(!Variant::Fast.power_config().three_d);
+        assert!(Variant::ThreeD.power_config().three_d);
+        assert!(Variant::ThreeD.power_config().herding);
+        assert!(!Variant::ThreeDNoTh.power_config().herding);
+    }
+
+    #[test]
+    fn figure8_order() {
+        let labels: Vec<_> = Variant::figure8().iter().map(|v| v.label()).collect();
+        assert_eq!(labels, vec!["Base", "TH", "Pipe", "Fast", "3D"]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Dynamic thermal management under a temperature cap — an extension of
+//! the paper's §5.3 observation (citing Black et al.) that performance
+//! headroom can be traded for temperature.
+//!
+//! A DTM controller watches the transient peak temperature and throttles
+//! the clock when it exceeds the cap, stepping back up when there is
+//! headroom. Because Thermal Herding lowers the stack's steady-state
+//! ceiling, the herded design sustains its full clock under caps that
+//! force the unherded 3D design to throttle — the herding win expressed
+//! as *delivered throughput* instead of kelvin.
+
+use crate::config::Variant;
+use crate::run::{run_chip, ChipResult};
+use crate::thermal::SINK_RESISTANCE_K_PER_W;
+use std::fmt;
+use th_power::PowerModel;
+use th_stack3d::{DieStack, Floorplan, LayerKind, Unit};
+use th_thermal::{
+    HeatSink, Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver,
+    TransientSolver,
+};
+use th_workloads::Workload;
+
+/// One sample of the DTM control loop.
+#[derive(Clone, Copy, Debug)]
+pub struct DtmSample {
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Peak stack temperature at this sample, kelvin.
+    pub peak_k: f64,
+    /// Clock the controller ran during the interval, GHz.
+    pub clock_ghz: f64,
+}
+
+/// Outcome of a DTM run for one design point.
+#[derive(Clone, Debug)]
+pub struct DtmTrace {
+    /// Design point.
+    pub variant: Variant,
+    /// Thermal cap enforced, kelvin.
+    pub cap_k: f64,
+    /// Control-loop samples.
+    pub samples: Vec<DtmSample>,
+    /// Nominal (unthrottled) clock, GHz.
+    pub nominal_ghz: f64,
+    /// Per-core IPC of the workload at this design point.
+    pub ipc: f64,
+}
+
+impl DtmTrace {
+    /// Fraction of control intervals spent below the nominal clock.
+    pub fn throttled_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let throttled =
+            self.samples.iter().filter(|s| s.clock_ghz < self.nominal_ghz - 1e-9).count();
+        throttled as f64 / self.samples.len() as f64
+    }
+
+    /// Instructions delivered per core over the trace, in billions:
+    /// `Σ IPC × f × dt`.
+    pub fn delivered_ginst(&self) -> f64 {
+        let dt = if self.samples.len() > 1 {
+            self.samples[1].time_s - self.samples[0].time_s
+        } else {
+            0.0
+        };
+        self.samples.iter().map(|s| self.ipc * s.clock_ghz * dt).sum()
+    }
+
+    /// Mean clock over the trace, GHz.
+    pub fn mean_clock_ghz(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.clock_ghz).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Highest temperature ever observed (the cap may be overshot by at
+    /// most one control interval's rise).
+    pub fn max_peak_k(&self) -> f64 {
+        self.samples.iter().map(|s| s.peak_k).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+fn material_of(kind: LayerKind) -> Material {
+    match kind {
+        LayerKind::Silicon | LayerKind::Active(_) => Material::SILICON,
+        LayerKind::BondInterface => Material::BOND_INTERFACE,
+        LayerKind::Tim => Material::TIM_ALLOY,
+        LayerKind::Spreader => Material::COPPER,
+    }
+}
+
+/// Paints the chip's power (repriced at `clock_ghz`) onto per-die grids.
+fn grids_at_clock(
+    result: &ChipResult,
+    floorplan: &Floorplan,
+    rows: usize,
+    clock_ghz: f64,
+) -> Vec<PowerGrid> {
+    let mut pcfg = result.variant.power_config();
+    pcfg.clock_ghz = clock_ghz;
+    let power = PowerModel::new().compute(&result.chip_stats, result.cycles(), &pcfg);
+    let model = PowerModel::new();
+    let (w_m, h_m) = (floorplan.width_mm() * 1e-3, floorplan.height_mm() * 1e-3);
+    let mut grids: Vec<PowerGrid> =
+        (0..floorplan.dies()).map(|_| PowerGrid::new(rows, rows, w_m, h_m)).collect();
+    for p in floorplan.placements() {
+        let unit_w = match p.unit {
+            Unit::Clock => power.clock_w,
+            u => power.unit_w(u),
+        };
+        let share = if p.core.is_some() { 0.5 } else { 1.0 };
+        let fractions =
+            th_power::die_fractions(p.unit, &result.chip_stats, model.energies(), &pcfg);
+        let leak = if p.unit == Unit::Clock {
+            power.leakage_w / floorplan.dies() as f64
+        } else {
+            0.0
+        };
+        let r = p.rect;
+        grids[p.die].paint_rect(
+            r.x * 1e-3,
+            r.y * 1e-3,
+            (r.x + r.w) * 1e-3,
+            (r.y + r.h) * 1e-3,
+            unit_w * share * fractions[p.die] + leak,
+        );
+    }
+    grids
+}
+
+/// Runs the DTM control loop for one design point.
+///
+/// The controller samples every `dt_s` seconds: above the cap it steps
+/// the clock down by 0.2 GHz (floor 2.0 GHz); with more than 1.5 K of
+/// headroom it steps back up toward nominal.
+pub fn run_variant(
+    variant: Variant,
+    workload: &Workload,
+    cap_k: f64,
+    rows: usize,
+    dt_s: f64,
+    steps: usize,
+) -> DtmTrace {
+    let result = run_chip(variant, workload, u64::MAX).expect("workload runs");
+    let (floorplan, stack) = if variant.is_three_d() {
+        (Floorplan::stacked_dual_core(), DieStack::four_die())
+    } else {
+        (Floorplan::planar_dual_core(), DieStack::planar())
+    };
+    let rows = if variant.is_three_d() { rows } else { rows * 2 };
+    let layers = stack
+        .layers()
+        .iter()
+        .map(|l| match l.kind {
+            LayerKind::Active(die) => {
+                ModelLayer::active(l.thickness_um * 1e-6, material_of(l.kind), die)
+            }
+            _ => ModelLayer::passive(l.thickness_um * 1e-6, material_of(l.kind)),
+        })
+        .collect();
+    let model = StackModel::new(
+        floorplan.width_mm() * 1e-3,
+        floorplan.height_mm() * 1e-3,
+        layers,
+        HeatSink { resistance_k_per_w: SINK_RESISTANCE_K_PER_W, ambient_k: th_thermal::AMBIENT_K },
+    );
+    let solver = SteadySolver::new(model, rows, rows);
+    let mut transient = TransientSolver::from_ambient(solver);
+
+    let nominal = result.clock_ghz;
+    let mut clock = nominal;
+    let mut samples = Vec::with_capacity(steps);
+    let opts = SolveOptions::default();
+    for _ in 0..steps {
+        let grids = grids_at_clock(&result, &floorplan, rows, clock);
+        transient.step(&grids, dt_s, &opts).expect("transient step converges");
+        let peak = transient.current_map().max_temp();
+        samples.push(DtmSample { time_s: transient.elapsed_s(), peak_k: peak, clock_ghz: clock });
+        if peak > cap_k {
+            clock = (clock - 0.2).max(2.0);
+        } else if peak < cap_k - 1.5 {
+            clock = (clock + 0.2).min(nominal);
+        }
+    }
+    DtmTrace { variant, cap_k, samples, nominal_ghz: nominal, ipc: result.ipc() }
+}
+
+/// The DTM comparison: the unherded and herded 3D designs under the same
+/// cap.
+#[derive(Clone, Debug)]
+pub struct Dtm {
+    /// Traces, `[3D-noTH, 3D]`.
+    pub traces: Vec<DtmTrace>,
+}
+
+/// Runs the comparison on `workload` with cap `cap_k`.
+pub fn run(workload: &Workload, cap_k: f64, rows: usize) -> Dtm {
+    let traces = [Variant::ThreeDNoTh, Variant::ThreeD]
+        .into_iter()
+        .map(|v| run_variant(v, workload, cap_k, rows, 0.05, 80))
+        .collect();
+    Dtm { traces }
+}
+
+impl fmt::Display for Dtm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DTM study: {:.0} K cap, 4 s of execution, 50 ms control interval",
+            self.traces[0].cap_k
+        )?;
+        for t in &self.traces {
+            writeln!(
+                f,
+                "  {:<8} mean clock {:>5.2} GHz (nominal {:.2}), throttled {:>5.1}% of the time, \
+                 max peak {:>6.1} K, delivered {:>6.2} Ginst/core",
+                t.variant.label(),
+                t.mean_clock_ghz(),
+                t.nominal_ghz,
+                100.0 * t.throttled_fraction(),
+                t.max_peak_k(),
+                t.delivered_ginst()
+            )?;
+        }
+        let (noth, th) = (&self.traces[0], &self.traces[1]);
+        write!(
+            f,
+            "  herding delivers {:+.1}% throughput under this cap",
+            100.0 * (th.delivered_ginst() / noth.delivered_ginst() - 1.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use th_workloads::workload_by_name;
+
+    #[test]
+    fn herding_avoids_throttling_under_a_tight_cap() {
+        let w = workload_by_name("mpeg2-like").unwrap();
+        // Cap between the herded ceiling (≈374 K) and the unherded one
+        // (≈379 K): only the unherded design must throttle.
+        let dtm = run(&w, 376.0, 16);
+        let noth = &dtm.traces[0];
+        let th = &dtm.traces[1];
+        assert!(noth.throttled_fraction() > 0.3, "noTH never throttled");
+        assert!(th.throttled_fraction() < 0.05, "TH throttled {:.2}", th.throttled_fraction());
+        assert!(th.delivered_ginst() > noth.delivered_ginst());
+        // The controller must actually hold the cap (one interval of
+        // overshoot allowed).
+        assert!(noth.max_peak_k() < 376.0 + 3.0, "cap violated: {:.1}", noth.max_peak_k());
+    }
+
+    #[test]
+    fn loose_cap_throttles_nobody() {
+        let w = workload_by_name("gzip-like").unwrap();
+        let dtm = run(&w, 420.0, 12);
+        for t in &dtm.traces {
+            assert_eq!(t.throttled_fraction(), 0.0, "{} throttled", t.variant);
+            assert!((t.mean_clock_ghz() - t.nominal_ghz).abs() < 1e-9);
+        }
+    }
+}

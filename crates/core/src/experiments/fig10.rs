@@ -1,0 +1,232 @@
+//! Figure 10: thermal maps and hotspots.
+//!
+//! * (a–c) worst-case temperatures over the workload set for the planar
+//!   baseline (paper: 360 K, scheduler), 3D without herding (377 K,
+//!   +17 K), and 3D with herding (372 K, +12 K — a 29 % reduction in the
+//!   3D temperature increase, with the hotspot moving to the data cache
+//!   under `yacr2`);
+//! * (d–f) the three designs running one common application;
+//! * the §5.3 iso-power study: the 3D stack forced to the planar
+//!   design's 90 W at 2.66 GHz (4× power density) reached 418 K;
+//! * the §5.3 ROB statistic: ≈5× more low-width reads and ≈2× more
+//!   low-width writes than full-width.
+
+use crate::config::Variant;
+use crate::run::run_chip;
+use crate::thermal::{thermal_analysis, thermal_analysis_scaled, ThermalAnalysis};
+use std::fmt;
+use th_stack3d::Unit;
+use th_workloads::{all_workloads, workload_by_name, Workload};
+
+/// Worst-case thermal outcome for one design point.
+#[derive(Clone, Debug)]
+pub struct WorstCase {
+    /// Design point.
+    pub variant: Variant,
+    /// The workload that produced the worst hotspot.
+    pub workload: &'static str,
+    /// The analysis.
+    pub analysis: ThermalAnalysis,
+}
+
+impl WorstCase {
+    /// Peak temperature, kelvin.
+    pub fn peak_k(&self) -> f64 {
+        self.analysis.peak_k()
+    }
+
+    /// The hottest block.
+    pub fn hottest_unit(&self) -> Unit {
+        self.analysis.hottest_unit().0
+    }
+}
+
+/// The full Figure 10 result.
+#[derive(Clone, Debug)]
+pub struct Fig10 {
+    /// Worst case per design point (Figure 10a-c).
+    pub worst: Vec<WorstCase>,
+    /// The three designs running the same application (Figure 10d-f).
+    pub same_app: Vec<ThermalAnalysis>,
+    /// Name of the common application used for (d-f).
+    pub same_app_workload: &'static str,
+    /// §5.3 iso-power peak: 3D stack at the planar 90 W / 2.66 GHz point.
+    pub iso_power_peak_k: f64,
+    /// §5.3 ROB width statistics under the 3D design: (low-width reads /
+    /// full-width reads, low-width writes / full-width writes).
+    pub rob_ratios: (f64, f64),
+}
+
+impl Fig10 {
+    /// Worst case of one design point.
+    pub fn worst_of(&self, variant: Variant) -> &WorstCase {
+        self.worst.iter().find(|w| w.variant == variant).expect("variant present")
+    }
+
+    /// The 3D temperature increases over the planar baseline, kelvin:
+    /// `(without herding, with herding)` — paper: (+17, +12).
+    pub fn increases(&self) -> (f64, f64) {
+        let base = self.worst_of(Variant::Base).peak_k();
+        (
+            self.worst_of(Variant::ThreeDNoTh).peak_k() - base,
+            self.worst_of(Variant::ThreeD).peak_k() - base,
+        )
+    }
+
+    /// Fractional reduction of the 3D temperature increase due to
+    /// herding — paper: ≈0.29.
+    pub fn increase_reduction(&self) -> f64 {
+        let (no_th, th) = self.increases();
+        1.0 - th / no_th
+    }
+}
+
+/// The workloads searched for the worst case. The full 106-trace sweep is
+/// summarised by its extremes in the paper; we search the hottest
+/// candidates of each behavioural class (peak-power media, mixed-width
+/// memory-bound pointer, compute-bound integer).
+pub fn worst_case_candidates() -> Vec<Workload> {
+    ["mpeg2-like", "susan-like", "yacr2-like", "crafty-like", "gzip-like"]
+        .iter()
+        .map(|n| workload_by_name(n).expect("candidate exists"))
+        .collect()
+}
+
+/// Runs the Figure 10 experiment at `rows × rows` grid resolution.
+pub fn run(max_insts: u64, rows: usize) -> Fig10 {
+    let candidates = worst_case_candidates();
+    let variants = [Variant::Base, Variant::ThreeDNoTh, Variant::ThreeD];
+
+    let mut worst = Vec::new();
+    for variant in variants {
+        let mut best: Option<WorstCase> = None;
+        for w in &candidates {
+            let run = run_chip(variant, w, max_insts).expect("candidate runs");
+            let analysis = thermal_analysis(&run, rows).expect("thermal solves");
+            if best.as_ref().is_none_or(|b| analysis.peak_k() > b.peak_k()) {
+                best = Some(WorstCase { variant, workload: w.name, analysis });
+            }
+        }
+        worst.push(best.expect("candidates non-empty"));
+    }
+
+    // (d-f): all three designs running the same application — use the
+    // baseline's worst-case app, as the paper does.
+    let common = worst[0].workload;
+    let common_w = workload_by_name(common).expect("common workload");
+    let same_app = variants
+        .iter()
+        .map(|&variant| {
+            let run = run_chip(variant, &common_w, max_insts).expect("runs");
+            thermal_analysis(&run, rows).expect("solves")
+        })
+        .collect();
+
+    // §5.3 iso-power: "the 3D processor at the same total power (90 W)
+    // and same frequency (2.66 GHz) as the planar processor ... mimics a
+    // quadrupling of the power density while ignoring the latency and
+    // power benefits of a 3D organization" — the planar power map,
+    // planar pricing and all, compressed into the 4-die stack.
+    let iso = {
+        let base = run_chip(Variant::Base, &common_w, max_insts).expect("runs");
+        let mut r = run_chip(Variant::ThreeDNoTh, &common_w, max_insts).expect("runs");
+        r.power = base.power.clone();
+        r.chip_stats = base.chip_stats.clone();
+        thermal_analysis_scaled(&r, rows, 1.0).expect("iso-power solves")
+    };
+
+    // §5.3 ROB width ratios under the full 3D design, aggregated over
+    // every workload.
+    let mut reads = (0u64, 0u64);
+    let mut writes = (0u64, 0u64);
+    for w in all_workloads() {
+        let r = run_chip(Variant::ThreeD, &w, max_insts).expect("runs");
+        reads.0 += r.core_stats.rob_reads_low;
+        reads.1 += r.core_stats.rob_reads_full;
+        writes.0 += r.core_stats.rob_writes_low;
+        writes.1 += r.core_stats.rob_writes_full;
+    }
+    let rob_ratios =
+        (reads.0 as f64 / reads.1.max(1) as f64, writes.0 as f64 / writes.1.max(1) as f64);
+
+    Fig10 {
+        worst,
+        same_app,
+        same_app_workload: common,
+        iso_power_peak_k: iso.peak_k(),
+        rob_ratios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_structure_is_sound() {
+        // Tiny budget + coarse grid: a smoke test of the full pipeline;
+        // the calibrated numbers are pinned by tests/paper_results.rs.
+        let fig10 = run(15_000, 10);
+        assert_eq!(fig10.worst.len(), 3);
+        assert_eq!(fig10.same_app.len(), 3);
+        let (no_th, th) = fig10.increases();
+        assert!(no_th > 0.0, "stacking must heat the chip");
+        assert!(th < no_th, "herding must reduce the increase");
+        assert!(fig10.iso_power_peak_k > fig10.worst_of(Variant::Base).peak_k());
+        assert!(fig10.rob_ratios.0 > 0.0 && fig10.rob_ratios.1 > 0.0);
+        let text = fig10.to_string();
+        for needle in ["Figure 10(a-c)", "Figure 10(d-f)", "Iso-power", "ROB"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}
+
+impl fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 10(a-c): worst-case hotspots")?;
+        let paper = [(360.0, "Scheduler"), (377.0, "Scheduler"), (372.0, "D-cache")];
+        for (w, (pk, pu)) in self.worst.iter().zip(paper) {
+            writeln!(
+                f,
+                "  {:<8} worst app {:<14} peak {:>6.1} K at {:<10} (paper: {:.0} K at {})",
+                w.variant.label(),
+                w.workload,
+                w.peak_k(),
+                w.hottest_unit().label(),
+                pk,
+                pu
+            )?;
+        }
+        let (no_th, th) = self.increases();
+        writeln!(
+            f,
+            "  3D increase over planar: +{no_th:.1} K without herding, +{th:.1} K with \
+             (paper: +17 K / +12 K; reduction {:.0}%, paper 29%)",
+            100.0 * self.increase_reduction()
+        )?;
+        writeln!(f)?;
+        writeln!(f, "Figure 10(d-f): all designs running {}", self.same_app_workload)?;
+        for a in &self.same_app {
+            writeln!(
+                f,
+                "  {:<8} peak {:>6.1} K, hottest {:<10} ROB {:>6.1} K, D-cache {:>6.1} K",
+                a.variant.label(),
+                a.peak_k(),
+                a.hottest_unit().0.label(),
+                a.unit_peak(Unit::Rob),
+                a.unit_peak(Unit::DCache)
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "Iso-power 3D stack (90 W @ 2.66 GHz, 4x density): peak {:.1} K (paper: 418 K)",
+            self.iso_power_peak_k
+        )?;
+        write!(
+            f,
+            "ROB low/full ratios: reads {:.1}x, writes {:.1}x (paper: ~5x reads, ~2x writes)",
+            self.rob_ratios.0, self.rob_ratios.1
+        )
+    }
+}

@@ -1,0 +1,184 @@
+//! Figure 9: chip power distribution for the planar baseline, the 3D
+//! implementation without Thermal Herding, and the full 3D Thermal
+//! Herding design — plus the per-application total-power savings range
+//! (§5.2: 15 % for `yacr2` to 30 % for `susan`).
+
+use crate::config::Variant;
+use crate::run::{run_chip, ChipResult};
+use std::fmt;
+use th_stack3d::Unit;
+use th_workloads::{all_workloads, workload_by_name};
+
+/// One bar of Figure 9: the per-unit power distribution of one design.
+#[derive(Clone, Debug)]
+pub struct Fig9Bar {
+    /// Design point.
+    pub variant: Variant,
+    /// The underlying run.
+    pub result: ChipResult,
+}
+
+impl Fig9Bar {
+    /// Total chip power.
+    pub fn total_w(&self) -> f64 {
+        self.result.power.total_w()
+    }
+}
+
+/// Per-application power saving of the full 3D design over the baseline.
+#[derive(Clone, Debug)]
+pub struct PowerSaving {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Baseline chip power, watts.
+    pub base_w: f64,
+    /// 3D Thermal Herding chip power, watts.
+    pub three_d_w: f64,
+}
+
+impl PowerSaving {
+    /// Fractional saving (paper range: 0.15–0.30).
+    pub fn saving(&self) -> f64 {
+        1.0 - self.three_d_w / self.base_w
+    }
+}
+
+/// The full Figure 9 result.
+#[derive(Clone, Debug)]
+pub struct Fig9 {
+    /// The three bars, running the peak-power workload (`mpeg2`-like on
+    /// both cores): Base ≈ 90 W, 3D ≈ 72.7 W, 3D+TH ≈ 64.3 W.
+    pub bars: Vec<Fig9Bar>,
+    /// Savings for every workload (paper: 15 %–30 %).
+    pub savings: Vec<PowerSaving>,
+}
+
+impl Fig9 {
+    /// The bar for one design point.
+    pub fn bar(&self, variant: Variant) -> &Fig9Bar {
+        self.bars.iter().find(|b| b.variant == variant).expect("bar exists")
+    }
+
+    /// Minimum and maximum fractional savings across workloads.
+    pub fn savings_range(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for s in &self.savings {
+            min = min.min(s.saving());
+            max = max.max(s.saving());
+        }
+        (min, max)
+    }
+}
+
+/// Runs the Figure 9 experiment.
+pub fn run(max_insts: u64) -> Fig9 {
+    let mpeg2 = workload_by_name("mpeg2-like").expect("mpeg2-like exists");
+    let bars = [Variant::Base, Variant::ThreeDNoTh, Variant::ThreeD]
+        .into_iter()
+        .map(|variant| Fig9Bar {
+            variant,
+            result: run_chip(variant, &mpeg2, max_insts).expect("mpeg2 runs"),
+        })
+        .collect();
+
+    let savings = all_workloads()
+        .iter()
+        .map(|w| {
+            let base = run_chip(Variant::Base, w, max_insts).expect("base runs");
+            let three_d = run_chip(Variant::ThreeD, w, max_insts).expect("3d runs");
+            PowerSaving {
+                workload: w.name,
+                base_w: base.power.total_w(),
+                three_d_w: three_d.power.total_w(),
+            }
+        })
+        .collect();
+
+    Fig9 { bars, savings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_and_savings_are_structurally_sound() {
+        let fig9 = run(15_000);
+        assert_eq!(fig9.bars.len(), 3);
+        // Ordering of the three bars must hold even at tiny budgets.
+        let base = fig9.bar(Variant::Base).total_w();
+        let noth = fig9.bar(Variant::ThreeDNoTh).total_w();
+        let th = fig9.bar(Variant::ThreeD).total_w();
+        assert!(base > noth, "planar {base:.1} !> 3D {noth:.1}");
+        assert!(noth >= th, "3D {noth:.1} !>= TH {th:.1}");
+        assert_eq!(fig9.savings.len(), th_workloads::all_workloads().len());
+        let (min, max) = fig9.savings_range();
+        assert!(min > 0.0, "some workload lost power savings: {min:.3}");
+        assert!(max < 0.5, "implausible saving {max:.3}");
+        let text = fig9.to_string();
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("Per-application"));
+    }
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 9: chip power running mpeg2-like on both cores")?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>10} {:>10} {:>10}",
+            "Unit",
+            self.bars[0].variant.label(),
+            self.bars[1].variant.label(),
+            self.bars[2].variant.label(),
+            "paper"
+        )?;
+        for &unit in Unit::all() {
+            if unit == Unit::Clock {
+                continue; // reported via the dedicated clock-network row
+            }
+            write!(f, "{:<12}", unit.label())?;
+            for bar in &self.bars {
+                write!(f, "{:>10.2}", bar.result.power.unit_w(unit))?;
+            }
+            writeln!(f)?;
+        }
+        for (label, get) in [
+            ("Clock", (|b: &Fig9Bar| b.result.power.clock_w) as fn(&Fig9Bar) -> f64),
+            ("Leakage", |b| b.result.power.leakage_w),
+            ("TOTAL", |b| b.total_w()),
+        ] {
+            write!(f, "{label:<12}")?;
+            for bar in &self.bars {
+                write!(f, "{:>10.2}", get(bar))?;
+            }
+            writeln!(f)?;
+        }
+        let paper = [90.0, 72.7, 64.3];
+        write!(f, "{:<12}", "paper total")?;
+        for p in paper {
+            write!(f, "{p:>10.1}")?;
+        }
+        writeln!(f)?;
+        writeln!(f)?;
+        let (min, max) = self.savings_range();
+        writeln!(
+            f,
+            "Per-application 3D+TH savings: {:.1}%..{:.1}% (paper: 15%..30%)",
+            100.0 * min,
+            100.0 * max
+        )?;
+        for s in &self.savings {
+            writeln!(
+                f,
+                "  {:<16} {:>6.1} W -> {:>6.1} W  ({:>4.1}%)",
+                s.workload,
+                s.base_w,
+                s.three_d_w,
+                100.0 * s.saving()
+            )?;
+        }
+        Ok(())
+    }
+}

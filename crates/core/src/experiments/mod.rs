@@ -1,0 +1,15 @@
+//! One module per reproduced paper artefact.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`table2`] | Table 2: 2D vs 3D block latencies and the 47.9 % clock gain |
+//! | [`fig8`] | Figure 8: IPC, instructions/ns, and speedup per suite |
+//! | [`fig9`] | Figure 9: power distribution of Base / 3D / 3D+TH |
+//! | [`fig10`] | Figure 10: thermal maps, worst-case hotspots, iso-power study |
+//! | [`dtm`] | extension: DTM throttling study under a thermal cap |
+
+pub mod dtm;
+pub mod fig10;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;

@@ -1,0 +1,53 @@
+//! Table 2: per-block 2D vs 3D latencies and the derived clock plan.
+
+use std::fmt;
+use th_stack3d::{derive_frequency, BlockDelayModel, FrequencyPlan, Table2};
+
+/// The regenerated Table 2 plus the §5.1.1 frequency derivation.
+#[derive(Clone, Debug)]
+pub struct Table2Result {
+    /// Per-block latencies.
+    pub table: Table2,
+    /// The frequency plan (2.66 GHz → ≈3.93 GHz).
+    pub frequency: FrequencyPlan,
+}
+
+/// Regenerates Table 2.
+pub fn run() -> Table2Result {
+    let model = BlockDelayModel::new();
+    Table2Result { frequency: derive_frequency(&model), table: model.table2() }
+}
+
+impl fmt::Display for Table2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: 2D vs 3D circuit latencies (65 nm delay model)")?;
+        writeln!(f, "{}", self.table)?;
+        writeln!(f)?;
+        write!(
+            f,
+            "Clock: {:.2} GHz -> {:.2} GHz  (+{:.1}%; paper: 2.66 -> 3.93, +47.9%)",
+            self.frequency.base_ghz,
+            self.frequency.three_d_ghz,
+            100.0 * self.frequency.gain()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_gain_reproduces_paper() {
+        let r = run();
+        assert!((r.frequency.gain() - 0.479).abs() < 0.01, "gain {:.3}", r.frequency.gain());
+    }
+
+    #[test]
+    fn renders_critical_rows() {
+        let s = run().to_string();
+        assert!(s.contains("Scheduler"));
+        assert!(s.contains("ALU + Bypass"));
+        assert!(s.contains("47.9%"));
+    }
+}

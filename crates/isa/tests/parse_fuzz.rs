@@ -1,0 +1,91 @@
+//! Robustness of the text assembler: arbitrary input must produce a
+//! structured error or a valid program — never a panic — and valid
+//! programs must round-trip through `Display` back to themselves.
+
+use proptest::prelude::*;
+use th_isa::{parse_asm, Inst, Op, Reg};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the parser.
+    #[test]
+    fn parser_never_panics_on_garbage(src in "\\PC{0,400}") {
+        let _ = parse_asm(&src);
+    }
+
+    /// Structured-looking garbage (mnemonic-shaped tokens, commas,
+    /// parentheses) never panics either.
+    #[test]
+    fn parser_never_panics_on_asm_shaped_garbage(
+        lines in proptest::collection::vec(
+            "[a-z.]{1,8}( +[xf][0-9]{1,3})?(, *-?[0-9a-fx]{1,10})?(, *[0-9]*\\(?[xf][0-9]{1,2}\\)?)?",
+            0..30
+        )
+    ) {
+        let _ = parse_asm(&lines.join("\n"));
+    }
+
+    /// Every instruction's `Display` output re-parses to the same
+    /// instruction (branch displacements are printed numerically, which
+    /// the parser accepts).
+    #[test]
+    fn display_parse_roundtrip(
+        opidx in 0..Op::all().len(),
+        rd in 0usize..64,
+        rs1 in 0usize..64,
+        rs2 in 0usize..64,
+        imm in -1000i32..1000,
+    ) {
+        let op = Op::all()[opidx];
+        let inst = Inst {
+            op,
+            rd: Reg::from_index(rd).unwrap(),
+            rs1: Reg::from_index(rs1).unwrap(),
+            rs2: Reg::from_index(rs2).unwrap(),
+            // Branch displacements must be 8-aligned to format sensibly;
+            // shifts must be in range.
+            imm: match op {
+                Op::Slli | Op::Srli | Op::Srai => imm.rem_euclid(64),
+                _ if op.is_cond_branch() || op == Op::Jal => imm * 8,
+                _ => imm,
+            },
+        };
+        let text = format!("{inst}\n halt\n");
+        let parsed = parse_asm(&text)
+            .unwrap_or_else(|e| panic!("`{inst}` failed to re-parse: {e}"));
+        let got = parsed.fetch(parsed.entry).unwrap();
+
+        // Compare semantically: fields the op doesn't use are free.
+        prop_assert_eq!(got.op, inst.op);
+        if inst.op.writes_rd() {
+            prop_assert_eq!(got.rd, inst.rd);
+        }
+        if inst.op.reads_rs1() {
+            prop_assert_eq!(got.rs1, inst.rs1);
+        }
+        if inst.op.reads_rs2() {
+            prop_assert_eq!(got.rs2, inst.rs2);
+        }
+        let imm_matters = !matches!(
+            inst.op,
+            Op::Add | Op::Sub | Op::And | Op::Or | Op::Xor | Op::Sll | Op::Srl | Op::Sra
+                | Op::Slt | Op::Sltu | Op::Mul | Op::Mulh | Op::Div | Op::Rem
+                | Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv | Op::Fsqrt | Op::Fmin
+                | Op::Fmax | Op::Feq | Op::Flt | Op::Fle | Op::Fcvtdl | Op::Fcvtld
+                | Op::Fmvxd | Op::Fmvdx | Op::Nop | Op::Halt
+        );
+        if imm_matters {
+            prop_assert_eq!(got.imm, inst.imm, "{}", inst);
+        }
+    }
+}
+
+/// Error messages carry usable line numbers.
+#[test]
+fn errors_have_line_numbers() {
+    let e = parse_asm("nop\nnop\n???bad???\n").unwrap_err();
+    assert_eq!(e.line, 3);
+    let e = parse_asm("add x1, x2, x3\n ld x1, x2\n").unwrap_err();
+    assert_eq!(e.line, 2);
+}

@@ -1,0 +1,238 @@
+//! Semantic torture test: every ALU/FP opcode, on random operands,
+//! checked against an independently written reference implementation.
+
+use proptest::prelude::*;
+use th_isa::{Assembler, Inst, Machine, Op, Reg};
+
+/// Reference semantics, written directly against the ISA definition
+/// (independent of `interp.rs`'s match arms).
+fn reference(op: Op, a: u64, b: u64, imm: i32) -> Option<u64> {
+    let sa = a as i64;
+    let sb = b as i64;
+    let simm = imm as i64;
+    let fa = f64::from_bits(a);
+    let fb = f64::from_bits(b);
+    Some(match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Sll => a << (b & 63),
+        Op::Srl => a >> (b & 63),
+        Op::Sra => (sa >> (b & 63)) as u64,
+        Op::Slt => (sa < sb) as u64,
+        Op::Sltu => (a < b) as u64,
+        Op::Mul => a.wrapping_mul(b),
+        Op::Mulh => ((sa as i128 * sb as i128) >> 64) as u64,
+        Op::Div => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                sa.wrapping_div(sb) as u64
+            }
+        }
+        Op::Rem => {
+            if b == 0 {
+                a
+            } else {
+                sa.wrapping_rem(sb) as u64
+            }
+        }
+        Op::Addi => a.wrapping_add(simm as u64),
+        Op::Andi => a & simm as u64,
+        Op::Ori => a | simm as u64,
+        Op::Xori => a ^ simm as u64,
+        Op::Slli => a << (imm as u32 & 63),
+        Op::Srli => a >> (imm as u32 & 63),
+        Op::Srai => (sa >> (imm as u32 & 63)) as u64,
+        Op::Slti => (sa < simm) as u64,
+        Op::Sltiu => (a < simm as u64) as u64,
+        Op::Lui => (simm as u64) << 16,
+        Op::Fadd => (fa + fb).to_bits(),
+        Op::Fsub => (fa - fb).to_bits(),
+        Op::Fmul => (fa * fb).to_bits(),
+        Op::Fdiv => (fa / fb).to_bits(),
+        Op::Fsqrt => fa.sqrt().to_bits(),
+        Op::Fmin => fa.min(fb).to_bits(),
+        Op::Fmax => fa.max(fb).to_bits(),
+        Op::Feq => (fa == fb) as u64,
+        Op::Flt => (fa < fb) as u64,
+        Op::Fle => (fa <= fb) as u64,
+        Op::Fcvtdl => (sa as f64).to_bits(),
+        Op::Fcvtld => (fa as i64) as u64,
+        Op::Fmvxd | Op::Fmvdx => a,
+        _ => return None, // memory/control/misc covered elsewhere
+    })
+}
+
+/// Runs one instruction through the interpreter with the given operand
+/// values and returns the destination value.
+fn execute_one(op: Op, a: u64, b: u64, imm: i32) -> u64 {
+    // Source/destination register classes per opcode.
+    let fp_srcs = matches!(
+        op,
+        Op::Fadd
+            | Op::Fsub
+            | Op::Fmul
+            | Op::Fdiv
+            | Op::Fsqrt
+            | Op::Fmin
+            | Op::Fmax
+            | Op::Feq
+            | Op::Flt
+            | Op::Fle
+            | Op::Fcvtld
+            | Op::Fmvxd
+    );
+    let fp_dst = matches!(
+        op,
+        Op::Fadd
+            | Op::Fsub
+            | Op::Fmul
+            | Op::Fdiv
+            | Op::Fsqrt
+            | Op::Fmin
+            | Op::Fmax
+            | Op::Fcvtdl
+            | Op::Fmvdx
+    );
+    let (rs1, rs2) = if fp_srcs { (Reg::F1, Reg::F2) } else { (Reg::X1, Reg::X2) };
+    let rd = if fp_dst { Reg::F3 } else { Reg::X3 };
+
+    let mut asm = Assembler::new(0x1000);
+    asm.emit(Inst { op, rd, rs1, rs2, imm });
+    asm.halt();
+    let p = asm.assemble().expect("assembles");
+    let mut m = Machine::new(&p);
+    m.set_reg(rs1, a);
+    m.set_reg(rs2, b);
+    m.run(10).expect("runs");
+    assert!(m.is_halted());
+    m.reg(rd)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn interpreter_matches_reference(
+        opidx in 0..Op::all().len(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        imm in any::<i32>(),
+    ) {
+        let op = Op::all()[opidx];
+        if let Some(expected) = reference(op, a, b, imm) {
+            let got = execute_one(op, a, b, imm);
+            // NaNs have many bit patterns; compare FP results semantically.
+            let fp = f64::from_bits(expected);
+            if fp.is_nan() {
+                prop_assert!(f64::from_bits(got).is_nan(), "{op}: {got:#x} not NaN");
+            } else {
+                prop_assert_eq!(got, expected, "{} a={:#x} b={:#x} imm={}", op, a, b, imm);
+            }
+        }
+    }
+
+    /// Signed-overflow edge: i64::MIN / -1 must not trap or change sign
+    /// semantics across div/rem.
+    #[test]
+    fn division_edges(a in any::<i64>()) {
+        let q = execute_one(Op::Div, a as u64, u64::MAX, 0); // divide by -1
+        prop_assert_eq!(q, (a.wrapping_neg()) as u64);
+        let r = execute_one(Op::Rem, a as u64, u64::MAX, 0);
+        prop_assert_eq!(r, 0);
+    }
+}
+
+/// Loads and stores of every size, checked against direct memory pokes.
+#[test]
+fn memory_op_sizes() {
+    for (store, load, bits) in [
+        (Op::Sb, Op::Lbu, 8u32),
+        (Op::Sh, Op::Lhu, 16),
+        (Op::Sw, Op::Lwu, 32),
+        (Op::Sd, Op::Ld, 64),
+    ] {
+        let mut asm = Assembler::new(0x1000);
+        asm.data_zeros("buf", 16);
+        asm.la(Reg::X5, "buf");
+        asm.emit(Inst { op: store, rd: Reg::X0, rs1: Reg::X5, rs2: Reg::X1, imm: 4 });
+        asm.emit(Inst { op: load, rd: Reg::X6, rs1: Reg::X5, rs2: Reg::X0, imm: 4 });
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut m = Machine::new(&p);
+        let value = 0xfedc_ba98_7654_3210u64;
+        m.set_reg(Reg::X1, value);
+        m.run(100).unwrap();
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        assert_eq!(m.reg(Reg::X6), value & mask, "{store}/{load}");
+    }
+}
+
+/// Sign-extending loads replicate the top bit of the loaded datum.
+#[test]
+fn sign_extension_matrix() {
+    for (load, bits) in [(Op::Lb, 8u32), (Op::Lh, 16), (Op::Lw, 32)] {
+        for value in [0u64, 1, (1 << (bits - 1)) - 1, 1 << (bits - 1), (1 << bits) - 1] {
+            let mut asm = Assembler::new(0x1000);
+            asm.data_zeros("buf", 8);
+            asm.la(Reg::X5, "buf");
+            asm.sd(Reg::X1, 0, Reg::X5);
+            asm.emit(Inst { op: load, rd: Reg::X6, rs1: Reg::X5, rs2: Reg::X0, imm: 0 });
+            asm.halt();
+            let p = asm.assemble().unwrap();
+            let mut m = Machine::new(&p);
+            m.set_reg(Reg::X1, value);
+            m.run(100).unwrap();
+            let shift = 64 - bits;
+            let expected = (((value << shift) as i64) >> shift) as u64;
+            assert_eq!(m.reg(Reg::X6), expected, "{load} of {value:#x}");
+        }
+    }
+}
+
+/// Conditional branches: all six compare predicates over a sign/magnitude
+/// matrix.
+#[test]
+fn branch_predicates() {
+    let cases: &[u64] = &[0, 1, 0x7fff_ffff_ffff_ffff, 0x8000_0000_0000_0000, u64::MAX];
+    for &a in cases {
+        for &b in cases {
+            for (op, expected) in [
+                (Op::Beq, a == b),
+                (Op::Bne, a != b),
+                (Op::Blt, (a as i64) < (b as i64)),
+                (Op::Bge, (a as i64) >= (b as i64)),
+                (Op::Bltu, a < b),
+                (Op::Bgeu, a >= b),
+            ] {
+                let mut asm = Assembler::new(0x1000);
+                match op {
+                    Op::Beq => asm.beq(Reg::X1, Reg::X2, "taken"),
+                    Op::Bne => asm.bne(Reg::X1, Reg::X2, "taken"),
+                    Op::Blt => asm.blt(Reg::X1, Reg::X2, "taken"),
+                    Op::Bge => asm.bge(Reg::X1, Reg::X2, "taken"),
+                    Op::Bltu => asm.bltu(Reg::X1, Reg::X2, "taken"),
+                    _ => asm.bgeu(Reg::X1, Reg::X2, "taken"),
+                }
+                asm.li(Reg::X9, 0);
+                asm.halt();
+                asm.label("taken");
+                asm.li(Reg::X9, 1);
+                asm.halt();
+                let p = asm.assemble().unwrap();
+                let mut m = Machine::new(&p);
+                m.set_reg(Reg::X1, a);
+                m.set_reg(Reg::X2, b);
+                m.run(100).unwrap();
+                assert_eq!(
+                    m.reg(Reg::X9) == 1,
+                    expected,
+                    "{op} a={a:#x} b={b:#x}"
+                );
+            }
+        }
+    }
+}

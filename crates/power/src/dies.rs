@@ -1,0 +1,189 @@
+//! Vertical (per-die) power distribution — the herding payoff the
+//! thermal model consumes.
+
+use crate::energy::EnergyTable;
+use crate::model::{unit_activity, PowerConfig};
+use th_sim::SimStats;
+use th_stack3d::Unit;
+
+/// How one unit's power distributes over the four dies (die 0 = adjacent
+/// to the heat sink). Fractions sum to 1.
+///
+/// * Planar designs put everything on the single die.
+/// * A 3D design without herding splits every partitioned block evenly.
+/// * With herding, the split follows the simulator's statistics: gated
+///   low-width accesses burn on the top die only; the RS allocator's
+///   per-die occupancy decides scheduler power (§3.4); the branch
+///   predictor's direction array sits on the top two dies (§3.7); the
+///   rename dependency-check chain is biased upward (§3.7).
+pub fn die_fractions(
+    unit: Unit,
+    stats: &SimStats,
+    energies: &EnergyTable,
+    cfg: &PowerConfig,
+) -> [f64; 4] {
+    if !cfg.three_d {
+        return [1.0, 0.0, 0.0, 0.0];
+    }
+    let even = [0.25; 4];
+    if !cfg.herding {
+        return even;
+    }
+    match unit {
+        Unit::Scheduler => {
+            // Entry-*residency* per die, not allocation counts: a waiting
+            // entry keeps its comparators matching every broadcast cycle,
+            // so power follows occupancy time (falling back to allocation
+            // counts if residency was not recorded).
+            let residency: u64 = stats.rs_occupancy_cycles_per_die.iter().sum();
+            let counts = if residency > 0 {
+                stats.rs_occupancy_cycles_per_die
+            } else {
+                stats.rs_allocs_per_die
+            };
+            let total: u64 = counts.iter().sum();
+            if total == 0 {
+                return even;
+            }
+            let mut f = [0.0; 4];
+            for (fr, n) in f.iter_mut().zip(counts) {
+                *fr = n as f64 / total as f64;
+            }
+            f
+        }
+        Unit::Bpred => [0.35, 0.35, 0.15, 0.15],
+        Unit::Rename => [0.40, 0.20, 0.20, 0.20],
+        _ if unit.is_width_partitioned() || unit == Unit::Btb || unit == Unit::Lsq => {
+            // Energy-weighted: gated accesses burn entirely on die 0;
+            // full accesses spread evenly.
+            let act = unit_activity(stats, true)
+                .into_iter()
+                .find(|(u, _)| *u == unit)
+                .map(|(_, a)| a)
+                .unwrap_or_default();
+            let e_full = energies.e3d_pj(unit);
+            let e_low = energies.e3d_low_pj(unit);
+            let full_e = act.full * e_full;
+            let low_e = act.low * e_low;
+            let total = full_e + low_e;
+            if total <= 0.0 {
+                return even;
+            }
+            let top = (low_e + 0.25 * full_e) / total;
+            let rest = (1.0 - top) / 3.0;
+            [top, rest, rest, rest]
+        }
+        _ => even,
+    }
+}
+
+/// Sanity helper: the top-die share of total dynamic power, given a full
+/// per-unit power breakdown.
+pub fn top_die_share(
+    breakdown: &crate::model::PowerBreakdown,
+    stats: &SimStats,
+    energies: &EnergyTable,
+    cfg: &PowerConfig,
+) -> f64 {
+    let mut top = 0.0;
+    let mut total = 0.0;
+    for (unit, w) in &breakdown.per_unit {
+        let f = die_fractions(*unit, stats, energies, cfg);
+        top += f[0] * w;
+        total += w;
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        top / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PowerModel;
+
+    fn herded_stats() -> SimStats {
+        SimStats {
+            cycles: 1000,
+            rf_reads_low: 1600,
+            rf_reads_full: 200,
+            rf_writes_low: 800,
+            rf_writes_full: 100,
+            int_ops_low: 1500,
+            int_ops_full: 200,
+            bypass_low: 1500,
+            bypass_full: 200,
+            rs_allocs_per_die: [1800, 150, 40, 10],
+            dispatched: 2000,
+            width_pred: th_width::WidthPredictStats {
+                predictions: 2000,
+                correct_low: 1700,
+                correct_full: 250,
+                unsafe_mispredictions: 20,
+                safe_mispredictions: 30,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn planar_is_single_die() {
+        let cfg = PowerConfig::planar(2.66);
+        let f = die_fractions(Unit::RegFile, &herded_stats(), &EnergyTable::new(), &cfg);
+        assert_eq!(f, [1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn plain_3d_is_uniform() {
+        let cfg = PowerConfig::three_d(3.93, false);
+        let f = die_fractions(Unit::RegFile, &herded_stats(), &EnergyTable::new(), &cfg);
+        assert_eq!(f, [0.25; 4]);
+    }
+
+    #[test]
+    fn herding_biases_partitioned_units_to_the_top() {
+        let cfg = PowerConfig::three_d(3.93, true);
+        let stats = herded_stats();
+        let table = EnergyTable::new();
+        for unit in [Unit::RegFile, Unit::IntExec, Unit::Bypass] {
+            let f = die_fractions(unit, &stats, &table, &cfg);
+            assert!(f[0] > 0.5, "{unit} top-die share {:.2}", f[0]);
+            let sum: f64 = f.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scheduler_follows_allocation() {
+        let cfg = PowerConfig::three_d(3.93, true);
+        let f = die_fractions(Unit::Scheduler, &herded_stats(), &EnergyTable::new(), &cfg);
+        assert!(f[0] > 0.85, "scheduler top-die {:.2}", f[0]);
+        assert!(f[3] < 0.02);
+    }
+
+    #[test]
+    fn front_end_arrays_stay_uniform_except_bpred() {
+        let cfg = PowerConfig::three_d(3.93, true);
+        let stats = herded_stats();
+        let table = EnergyTable::new();
+        assert_eq!(die_fractions(Unit::ICache, &stats, &table, &cfg), [0.25; 4]);
+        let bpred = die_fractions(Unit::Bpred, &stats, &table, &cfg);
+        assert!(bpred[0] + bpred[1] > 0.6);
+    }
+
+    #[test]
+    fn top_die_share_reflects_herding() {
+        let stats = herded_stats();
+        let model = PowerModel::new();
+        let cfg_h = PowerConfig::three_d(3.93, true);
+        let cfg_p = PowerConfig::three_d(3.93, false);
+        let b_h = model.compute(&stats, 1000, &cfg_h);
+        let b_p = model.compute(&stats, 1000, &cfg_p);
+        let herded = top_die_share(&b_h, &stats, model.energies(), &cfg_h);
+        let plain = top_die_share(&b_p, &stats, model.energies(), &cfg_p);
+        assert!(herded > 0.5, "herded top-die share {herded:.2}");
+        assert!((plain - 0.25).abs() < 1e-9);
+    }
+}

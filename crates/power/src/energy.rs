@@ -1,0 +1,163 @@
+//! Per-access energy table.
+
+use th_stack3d::Unit;
+
+/// Per-access dynamic energy of one block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnitEnergy {
+    /// Energy per access in the planar implementation, picojoules.
+    pub e2d_pj: f64,
+    /// Fraction of that energy dissipated in wires (the part 3D folding
+    /// shrinks).
+    pub wire_fraction: f64,
+    /// Wire-length scale factor of the 4-die implementation (mirrors the
+    /// delay model's per-block factors).
+    pub wire_scale_3d: f64,
+}
+
+impl UnitEnergy {
+    /// Energy per access in the 3D implementation: the gate component is
+    /// unchanged, the wire component shrinks with the folded wirelength.
+    pub fn e3d_pj(&self) -> f64 {
+        self.e2d_pj * (1.0 - self.wire_fraction * (1.0 - self.wire_scale_3d))
+    }
+}
+
+/// Energies for every unit, with the herding parameters.
+#[derive(Clone, Debug)]
+pub struct EnergyTable {
+    entries: Vec<(Unit, UnitEnergy)>,
+    /// Energy of a correctly-gated low-width access relative to a full
+    /// 3D access: one of four dies switches (25 %) plus the
+    /// width-independent per-access overheads (decoders, memoization-bit
+    /// reads, shared drivers) that do not scale with datapath width.
+    pub low_width_factor: f64,
+}
+
+impl EnergyTable {
+    /// Global scale applied to all per-access energies, calibrated once
+    /// so the dual-core `mpeg2`-like baseline dissipates ≈90 W (Figure
+    /// 9a): 31.5 W clock (35 %) + 18 W leakage (20 %) + 40.5 W dynamic.
+    /// This is the model's only fitted constant.
+    pub const CALIBRATION: f64 = 8.0;
+
+    /// The 65 nm energy table.
+    ///
+    /// Absolute values are Wattch/CACTI-class estimates for the Table 1
+    /// structure sizes; wire fractions/scales mirror `th-stack3d`'s delay
+    /// specs so latency and energy shrink together.
+    pub fn new() -> EnergyTable {
+        use Unit::*;
+        let e = |e2d_pj, wire_fraction, wire_scale_3d| UnitEnergy {
+            e2d_pj,
+            wire_fraction,
+            wire_scale_3d,
+        };
+        // Wire fractions reflect 65 nm reality: interconnect dissipates
+        // more than half of the dynamic energy in array and broadcast
+        // structures, which is what lets the 3D fold cut total dynamic
+        // power despite the higher clock (§5.2: 90 W → 72.7 W).
+        let entries = vec![
+            (ICache, e(60.0, 0.70, 0.35)),
+            (Itlb, e(8.0, 0.60, 0.40)),
+            (Btb, e(18.0, 0.65, 0.40)),
+            (Bpred, e(12.0, 0.65, 0.50)),
+            (Decode, e(10.0, 0.50, 0.50)),
+            (Rename, e(16.0, 0.60, 0.40)),
+            (Rob, e(22.0, 0.68, 0.30)),
+            (Scheduler, e(28.0, 0.72, 0.25)),
+            (RegFile, e(17.0, 0.68, 0.35)),
+            (IntExec, e(26.0, 0.50, 0.25)),
+            (FpExec, e(80.0, 0.50, 0.25)),
+            (Bypass, e(24.0, 0.90, 0.25)),
+            (Lsq, e(30.0, 0.68, 0.30)),
+            (DCache, e(70.0, 0.70, 0.35)),
+            (Dtlb, e(10.0, 0.60, 0.40)),
+            (L2, e(900.0, 0.72, 0.35)),
+            // The clock network is handled separately (fractional model).
+            (Clock, e(0.0, 0.0, 1.0)),
+        ];
+        EnergyTable { entries, low_width_factor: 0.45 }
+    }
+
+    /// Per-access energy of `unit`, planar.
+    pub fn e2d_pj(&self, unit: Unit) -> f64 {
+        self.lookup(unit).e2d_pj * Self::CALIBRATION
+    }
+
+    /// Per-access energy of `unit`, 3D (full-width access on all dies).
+    pub fn e3d_pj(&self, unit: Unit) -> f64 {
+        self.lookup(unit).e3d_pj() * Self::CALIBRATION
+    }
+
+    /// Per-access energy of a gated low-width access in 3D.
+    pub fn e3d_low_pj(&self, unit: Unit) -> f64 {
+        self.e3d_pj(unit) * self.low_width_factor
+    }
+
+    fn lookup(&self, unit: Unit) -> &UnitEnergy {
+        &self
+            .entries
+            .iter()
+            .find(|(u, _)| *u == unit)
+            .unwrap_or_else(|| panic!("unit {unit} missing from energy table"))
+            .1
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> EnergyTable {
+        EnergyTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_every_unit() {
+        let t = EnergyTable::new();
+        for &u in Unit::all() {
+            let _ = t.e2d_pj(u); // must not panic
+        }
+    }
+
+    #[test]
+    fn three_d_never_costs_more() {
+        let t = EnergyTable::new();
+        for &u in Unit::all() {
+            assert!(t.e3d_pj(u) <= t.e2d_pj(u) + 1e-12, "{u}");
+        }
+    }
+
+    #[test]
+    fn wire_heavy_blocks_save_most() {
+        let t = EnergyTable::new();
+        let bypass_saving = 1.0 - t.e3d_pj(Unit::Bypass) / t.e2d_pj(Unit::Bypass);
+        let decode_saving = 1.0 - t.e3d_pj(Unit::Decode) / t.e2d_pj(Unit::Decode);
+        assert!(bypass_saving > 0.5, "bypass saves {bypass_saving:.2}");
+        assert!(bypass_saving > decode_saving);
+    }
+
+    #[test]
+    fn low_width_access_gates_most_of_the_energy() {
+        let t = EnergyTable::new();
+        // §5.2: herding gates "approximately 75% of a block's switching
+        // activity" — the datapath bits. Per-access energy also carries
+        // width-independent overheads, so the energy factor sits above
+        // the pure 0.25 switching bound but well below 1.
+        assert!((t.low_width_factor - 0.45).abs() < 1e-12);
+        assert!(t.e3d_low_pj(Unit::RegFile) < 0.5 * t.e3d_pj(Unit::RegFile));
+    }
+
+    #[test]
+    fn l2_dominates_per_access_energy() {
+        let t = EnergyTable::new();
+        for &u in Unit::all() {
+            if u != Unit::L2 {
+                assert!(t.e2d_pj(Unit::L2) > t.e2d_pj(u));
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Branch prediction: hybrid direction predictor, BTB with partial-target
+//! storage (§3.7), indirect BTB, and return-address stack.
+
+use th_width::SatCounter;
+
+/// Result of a direction prediction, carrying the per-component votes so
+/// the update can train the choosers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchUpdate {
+    /// Final predicted direction.
+    pub taken: bool,
+    bimodal: bool,
+    local: bool,
+    global: bool,
+    chose_global: bool,
+    chose_local: bool,
+}
+
+/// The Table 1 "10KB Bimodal/Local/Global hybrid" direction predictor.
+///
+/// Structure (sizes chosen to fill the 10 KB budget):
+///
+/// * bimodal: 8K × 2-bit counters, PC-indexed (2 KB);
+/// * local: 1K × 10-bit histories feeding 1K × 2-bit counters (1.5 KB);
+/// * global: gshare with 13 bits of history → 8K × 2-bit (2 KB);
+/// * per-address chooser (bimodal vs local) 8K × 2-bit (2 KB) and
+///   history chooser (address-side vs global) 8K × 2-bit (2 KB).
+#[derive(Clone, Debug)]
+pub struct BranchPredictor {
+    bimodal: Vec<SatCounter>,
+    local_hist: Vec<u16>,
+    local_ctr: Vec<SatCounter>,
+    gshare: Vec<SatCounter>,
+    choose_local: Vec<SatCounter>,
+    choose_global: Vec<SatCounter>,
+    global_hist: u64,
+}
+
+const BIMODAL_BITS: usize = 13; // 8K
+const LOCAL_HIST_ENTRIES_BITS: usize = 10; // 1K
+const LOCAL_HIST_LEN: u32 = 10;
+const GSHARE_BITS: usize = 13;
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BranchPredictor {
+    /// Creates the predictor with all counters weakly-not-taken.
+    pub fn new() -> BranchPredictor {
+        BranchPredictor {
+            bimodal: vec![SatCounter::weakly_clear(); 1 << BIMODAL_BITS],
+            local_hist: vec![0; 1 << LOCAL_HIST_ENTRIES_BITS],
+            local_ctr: vec![SatCounter::weakly_clear(); 1 << LOCAL_HIST_LEN],
+            gshare: vec![SatCounter::weakly_clear(); 1 << GSHARE_BITS],
+            choose_local: vec![SatCounter::weakly_clear(); 1 << BIMODAL_BITS],
+            choose_global: vec![SatCounter::weakly_set(); 1 << BIMODAL_BITS],
+            global_hist: 0,
+        }
+    }
+
+    fn pc_index(pc: u64, bits: usize) -> usize {
+        ((pc >> 3) as usize) & ((1 << bits) - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: u64) -> BranchUpdate {
+        let bi = Self::pc_index(pc, BIMODAL_BITS);
+        let bimodal = self.bimodal[bi].is_set();
+        let lh = self.local_hist[Self::pc_index(pc, LOCAL_HIST_ENTRIES_BITS)] as usize
+            & ((1 << LOCAL_HIST_LEN) - 1);
+        let local = self.local_ctr[lh].is_set();
+        let gi = (Self::pc_index(pc, GSHARE_BITS)) ^ (self.global_hist as usize & ((1 << GSHARE_BITS) - 1));
+        let global = self.gshare[gi].is_set();
+        let chose_local = self.choose_local[bi].is_set();
+        let address_side = if chose_local { local } else { bimodal };
+        let chose_global = self.choose_global[bi].is_set();
+        let taken = if chose_global { global } else { address_side };
+        BranchUpdate { taken, bimodal, local, global, chose_global, chose_local }
+    }
+
+    /// Trains all components with the resolved outcome.
+    pub fn update(&mut self, pc: u64, prediction: BranchUpdate, taken: bool) {
+        let bi = Self::pc_index(pc, BIMODAL_BITS);
+        self.bimodal[bi].train(taken);
+        let lh_idx = Self::pc_index(pc, LOCAL_HIST_ENTRIES_BITS);
+        let lh = self.local_hist[lh_idx] as usize & ((1 << LOCAL_HIST_LEN) - 1);
+        self.local_ctr[lh].train(taken);
+        self.local_hist[lh_idx] =
+            (((lh << 1) | taken as usize) & ((1 << LOCAL_HIST_LEN) - 1)) as u16;
+        let gi = Self::pc_index(pc, GSHARE_BITS) ^ (self.global_hist as usize & ((1 << GSHARE_BITS) - 1));
+        self.gshare[gi].train(taken);
+        self.global_hist = (self.global_hist << 1) | taken as u64;
+
+        // Choosers train toward the component that was right when they
+        // disagreed.
+        if prediction.local != prediction.bimodal {
+            self.choose_local[bi].train(prediction.local == taken);
+        }
+        let address_side =
+            if prediction.chose_local { prediction.local } else { prediction.bimodal };
+        if prediction.global != address_side {
+            self.choose_global[bi].train(prediction.global == taken);
+        }
+    }
+
+    /// Storage budget in bytes (for documentation/tests).
+    pub fn storage_bytes(&self) -> usize {
+        (self.bimodal.len() * 2
+            + self.local_ctr.len() * 2
+            + self.gshare.len() * 2
+            + self.choose_local.len() * 2
+            + self.choose_global.len() * 2)
+            / 8
+            + self.local_hist.len() * (LOCAL_HIST_LEN as usize) / 8
+    }
+}
+
+/// A BTB lookup result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BtbOutcome {
+    /// Predicted target, if the BTB hit.
+    pub target: Option<u64>,
+    /// Whether the hit needed the upper 48 target bits from the lower
+    /// three dies (target memoization bit set, §3.7) — a one-cycle
+    /// front-end stall in the 3D design.
+    pub needs_lower_dies: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    lru: u64,
+}
+
+/// A set-associative branch target buffer storing, per §3.7, the low 16
+/// target bits on the top die plus a memoization bit that says whether the
+/// upper 48 bits match the branch's own PC.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    sets: usize,
+    ways: usize,
+    entries: Vec<BtbEntry>,
+    tick: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `sets × ways` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Btb {
+        assert!(sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(ways > 0, "BTB needs at least one way");
+        Btb { sets, ways, entries: vec![BtbEntry::default(); sets * ways], tick: 0 }
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 3) as usize) & (self.sets - 1)
+    }
+
+    fn tag_of(pc: u64) -> u64 {
+        pc >> 3
+    }
+
+    /// Looks up the target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> BtbOutcome {
+        self.tick += 1;
+        let set = self.set_of(pc);
+        let base = set * self.ways;
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.valid && e.tag == Self::tag_of(pc) {
+                e.lru = self.tick;
+                let partial = (e.target >> 16) == (pc >> 16);
+                return BtbOutcome { target: Some(e.target), needs_lower_dies: !partial };
+            }
+        }
+        BtbOutcome { target: None, needs_lower_dies: false }
+    }
+
+    /// Installs or refreshes the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let set = self.set_of(pc);
+        let base = set * self.ways;
+        // Hit: refresh.
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.valid && e.tag == Self::tag_of(pc) {
+                e.target = target;
+                e.lru = self.tick;
+                return;
+            }
+        }
+        // Miss: replace LRU (invalid entries have lru 0 and lose ties).
+        let victim = self.entries[base..base + self.ways]
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("ways > 0");
+        *victim = BtbEntry { valid: true, tag: Self::tag_of(pc), target, lru: self.tick };
+    }
+}
+
+/// A fixed-depth return-address stack. Overflow wraps (oldest entries are
+/// overwritten); underflow returns `None`.
+#[derive(Clone, Debug)]
+pub struct ReturnStack {
+    entries: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnStack {
+    /// Creates a RAS with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ReturnStack {
+        assert!(capacity > 0, "RAS needs capacity");
+        ReturnStack { entries: vec![0; capacity], top: 0, depth: 0 }
+    }
+
+    /// Pushes a return address.
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.entries.len());
+    }
+
+    /// Pops the most recent return address.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.depth -= 1;
+        Some(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_learns_always_taken() {
+        let mut p = BranchPredictor::new();
+        let pc = 0x1000;
+        for _ in 0..8 {
+            let pr = p.predict(pc);
+            p.update(pc, pr, true);
+        }
+        assert!(p.predict(pc).taken);
+    }
+
+    #[test]
+    fn predictor_learns_alternating_pattern_via_local_history() {
+        let mut p = BranchPredictor::new();
+        let pc = 0x2000;
+        let mut correct = 0;
+        for i in 0..400u32 {
+            let taken = i % 2 == 0;
+            let pr = p.predict(pc);
+            if pr.taken == taken && i >= 100 {
+                correct += 1;
+            }
+            p.update(pc, pr, taken);
+        }
+        // After warmup the local history should nail the period-2 pattern.
+        assert!(correct >= 290, "correct = {correct}/300");
+    }
+
+    #[test]
+    fn predictor_learns_global_correlation() {
+        // B2 is taken iff B1 was taken: global history captures this.
+        let mut p = BranchPredictor::new();
+        let mut correct = 0;
+        let mut b1 = false;
+        for i in 0..600u32 {
+            b1 = (i * 7 + i / 3) % 3 == 0; // pseudo-random-ish
+            let pr1 = p.predict(0x100);
+            p.update(0x100, pr1, b1);
+            let pr2 = p.predict(0x200);
+            if pr2.taken == b1 && i >= 300 {
+                correct += 1;
+            }
+            p.update(0x200, pr2, b1);
+        }
+        assert!(correct >= 240, "correct = {correct}/300");
+    }
+
+    #[test]
+    fn storage_budget_is_about_10kb() {
+        let p = BranchPredictor::new();
+        let kb = p.storage_bytes() as f64 / 1024.0;
+        assert!(kb > 8.0 && kb < 12.0, "predictor storage {kb:.1} KB");
+    }
+
+    #[test]
+    fn btb_miss_then_hit() {
+        let mut btb = Btb::new(512, 4);
+        assert_eq!(btb.lookup(0x4000).target, None);
+        btb.update(0x4000, 0x4100);
+        let out = btb.lookup(0x4000);
+        assert_eq!(out.target, Some(0x4100));
+        // Target shares the PC's upper 48 bits -> partial storage suffices.
+        assert!(!out.needs_lower_dies);
+    }
+
+    #[test]
+    fn btb_far_target_needs_lower_dies() {
+        let mut btb = Btb::new(512, 4);
+        btb.update(0x4000, 0xdead_0000_4100);
+        let out = btb.lookup(0x4000);
+        assert_eq!(out.target, Some(0xdead_0000_4100));
+        assert!(out.needs_lower_dies);
+    }
+
+    #[test]
+    fn btb_lru_replacement() {
+        let mut btb = Btb::new(1, 2);
+        btb.update(0x0, 0x10); // A
+        btb.update(0x8, 0x20); // B
+        btb.lookup(0x0); // touch A -> B is LRU
+        btb.update(0x10, 0x30); // C evicts B
+        assert!(btb.lookup(0x0).target.is_some());
+        assert!(btb.lookup(0x8).target.is_none());
+        assert!(btb.lookup(0x10).target.is_some());
+    }
+
+    #[test]
+    fn ras_lifo_and_underflow() {
+        let mut ras = ReturnStack::new(4);
+        assert_eq!(ras.pop(), None);
+        ras.push(1);
+        ras.push(2);
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_wraps() {
+        let mut ras = ReturnStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+}

@@ -1,0 +1,1335 @@
+//! The out-of-order pipeline: fetch → dispatch → issue/execute → commit.
+//!
+//! Cycle ordering within the loop is commit, completion scan, issue,
+//! dispatch, fetch — so a result completing in cycle *c* can wake a
+//! dependant that issues in cycle *c* (modelling the bypass network), and
+//! a slot freed at commit is reusable the same cycle.
+
+use crate::branch::{BranchPredictor, Btb, ReturnStack};
+use crate::cache::{CacheKind, MemoryHierarchy};
+use crate::config::SimConfig;
+use crate::lsq::{LoadSearch, Lsq};
+use crate::scheduler::{AllocPolicy, Scheduler};
+use crate::stats::SimStats;
+use std::collections::VecDeque;
+use th_isa::{DynInst, FuClass, Machine, Op, OpClass, Program, Trap};
+use th_width::{
+    PartialAddressMemoizer, UpperEncoding, Width, WidthMemoFile, WidthPredictor,
+};
+
+/// Outcome of a completed simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Clock frequency the run was priced at, GHz.
+    pub clock_ghz: f64,
+    /// All counters.
+    pub stats: SimStats,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// Committed instructions per nanosecond (Figure 8b's metric):
+    /// IPC × frequency.
+    pub fn ipns(&self) -> f64 {
+        self.stats.ipc() * self.clock_ghz
+    }
+
+    /// Wall-clock seconds simulated.
+    pub fn seconds(&self) -> f64 {
+        self.stats.cycles as f64 / (self.clock_ghz * 1e9)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// Dispatched, waiting in a reservation station.
+    Waiting,
+    /// Issued to a functional unit.
+    Issued,
+    /// Result available.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    di: DynInst,
+    state: SlotState,
+    rs_die: Option<usize>,
+    src_seq: [Option<u64>; 2],
+    complete_at: u64,
+    /// Branch whose direction/target was mispredicted at fetch.
+    mispredicted: bool,
+    pred_width: Width,
+    in_width: Width,
+    out_width: Width,
+    unsafe_in: bool,
+    unsafe_out: bool,
+    /// Set once writeback statistics have been recorded.
+    wrote_back: bool,
+}
+
+#[derive(Clone, Debug)]
+struct FetchedInst {
+    di: DynInst,
+    dispatch_ready_at: u64,
+    mispredicted: bool,
+    /// The one-per-group register-read width stall has been applied.
+    rf_charged: bool,
+}
+
+/// The simulator: configure once, run programs.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    pub fn new(cfg: SimConfig) -> Simulator {
+        Simulator { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs `program` until it halts or `max_insts` instructions commit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`th_isa::Trap::IllegalPc`] if the program runs off its
+    /// text segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (an internal invariant violation,
+    /// guarded by a commit watchdog).
+    pub fn run(&self, program: &Program, max_insts: u64) -> Result<SimResult, Trap> {
+        Core::new(&self.cfg, program).run(0, max_insts)
+    }
+
+    /// Like [`Simulator::run`], but discards the first `warmup_insts`
+    /// committed instructions from the reported statistics. Caches,
+    /// predictors, and all other state stay warm across the boundary —
+    /// this mirrors SimPoint-style measurement where cold-start effects
+    /// are excluded from the window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`th_isa::Trap::IllegalPc`] like [`Simulator::run`].
+    pub fn run_with_warmup(
+        &self,
+        program: &Program,
+        warmup_insts: u64,
+        max_insts: u64,
+    ) -> Result<SimResult, Trap> {
+        Core::new(&self.cfg, program).run(warmup_insts, max_insts)
+    }
+}
+
+struct Core<'a> {
+    cfg: &'a SimConfig,
+    machine: Machine,
+    stats: SimStats,
+    hierarchy: MemoryHierarchy,
+    bpred: BranchPredictor,
+    btb: Btb,
+    ibtb: Btb,
+    ras: ReturnStack,
+    width_pred: WidthPredictor,
+    /// §3.1: the per-register width memoization bits on the top die. With
+    /// in-order dispatch the bits are updated in program order, so a read
+    /// always sees its producer's width.
+    width_memo: WidthMemoFile,
+    pam: PartialAddressMemoizer,
+    scheduler: Scheduler,
+    lsq: Lsq,
+    ifq: VecDeque<FetchedInst>,
+    rob: VecDeque<Slot>,
+    rob_head_seq: u64,
+    rename: [Option<u64>; 64],
+    cycle: u64,
+    /// Fetch is stalled until this cycle (I-cache misses, BTB bubbles,
+    /// redirect recovery).
+    fetch_resume_at: u64,
+    /// Sequence number of an unresolved mispredicted branch: fetch is
+    /// blocked until it completes.
+    redirect_pending: Option<u64>,
+    fetch_done: bool,
+    /// Non-pipelined units.
+    int_div_busy_until: u64,
+    fp_div_busy_until: u64,
+}
+
+impl<'a> Core<'a> {
+    fn new(cfg: &'a SimConfig, program: &Program) -> Core<'a> {
+        let policy = if cfg.herding.enabled && cfg.herding.rs_herding {
+            AllocPolicy::HerdTopFirst
+        } else {
+            AllocPolicy::RoundRobin
+        };
+        Core {
+            cfg,
+            machine: Machine::new(program),
+            stats: SimStats::default(),
+            hierarchy: MemoryHierarchy::new(cfg),
+            bpred: BranchPredictor::new(),
+            btb: Btb::new(512, 4), // 2K entries
+            ibtb: Btb::new(128, 4), // 512 entries
+            ras: ReturnStack::new(16),
+            width_pred: WidthPredictor::new(cfg.herding.predictor_entries),
+            width_memo: WidthMemoFile::new(th_isa::Reg::COUNT, cfg.herding.policy),
+            pam: PartialAddressMemoizer::new(),
+            scheduler: Scheduler::new(cfg.core.rs_size, policy),
+            lsq: Lsq::new(cfg.core.lq_size, cfg.core.sq_size),
+            ifq: VecDeque::new(),
+            rob: VecDeque::new(),
+            rob_head_seq: 0,
+            rename: [None; 64],
+            cycle: 0,
+            fetch_resume_at: 0,
+            redirect_pending: None,
+            fetch_done: false,
+            int_div_busy_until: 0,
+            fp_div_busy_until: 0,
+        }
+    }
+
+    fn run(mut self, warmup_insts: u64, max_insts: u64) -> Result<SimResult, Trap> {
+        let mut last_commit_cycle = 0u64;
+        let mut warmup_snapshot: Option<SimStats> = None;
+        while self.stats.committed < max_insts {
+            let committed_before = self.stats.committed;
+            self.commit();
+            self.scan_completions();
+            self.issue();
+            self.dispatch();
+            self.fetch()?;
+            if self.stats.committed > committed_before {
+                last_commit_cycle = self.cycle;
+            }
+            if warmup_snapshot.is_none()
+                && warmup_insts > 0
+                && self.stats.committed >= warmup_insts
+            {
+                self.stats.cycles = self.cycle;
+                self.stats.width_pred = *self.width_pred.stats();
+                self.stats.pam = *self.pam.stats();
+                warmup_snapshot = Some(self.stats.clone());
+            }
+            if self.fetch_done && self.rob.is_empty() && self.ifq.is_empty() {
+                break;
+            }
+            assert!(
+                self.cycle - last_commit_cycle < 200_000,
+                "pipeline deadlock at cycle {} (rob {}, ifq {})",
+                self.cycle,
+                self.rob.len(),
+                self.ifq.len()
+            );
+            self.cycle += 1;
+        }
+        self.stats.cycles = self.cycle.max(1);
+        self.stats.width_pred = *self.width_pred.stats();
+        self.stats.pam = *self.pam.stats();
+        if let Some(snapshot) = warmup_snapshot {
+            // Only subtract if the measurement window is non-empty.
+            if self.stats.committed > snapshot.committed && self.stats.cycles > snapshot.cycles {
+                self.stats.subtract_prefix(&snapshot);
+            }
+        }
+        self.stats.cycles = self.stats.cycles.max(1);
+        Ok(SimResult { clock_ghz: self.cfg.clock_ghz, stats: self.stats })
+    }
+
+    // ---------------------------------------------------------------- fetch
+
+    fn fetch(&mut self) -> Result<(), Trap> {
+        if self.fetch_done || self.redirect_pending.is_some() || self.cycle < self.fetch_resume_at
+        {
+            if !self.fetch_done {
+                self.stats.fetch_stall_cycles += 1;
+            }
+            return Ok(());
+        }
+        // The IFQ holds instructions that have cleared the front-end pipe
+        // but not yet dispatched; instructions still flowing through the
+        // fetch/decode/rename stages occupy pipe latches, not IFQ slots.
+        let ifq_occupancy =
+            self.ifq.iter().filter(|f| f.dispatch_ready_at <= self.cycle).count();
+        if ifq_occupancy + self.cfg.core.fetch_width > self.cfg.core.ifq_size {
+            self.stats.ifq_full_stalls += 1;
+            return Ok(());
+        }
+        if self.machine.is_halted() {
+            self.fetch_done = true;
+            return Ok(());
+        }
+
+        // One I-cache access per fetch cycle at the current fetch PC.
+        let fetch_pc = self.machine.pc();
+        let ic = self.hierarchy.fetch(fetch_pc);
+        self.stats.icache_accesses += 1;
+        self.stats.itlb_accesses += 1;
+        if ic.tlb_miss {
+            self.stats.itlb_misses += 1;
+        }
+        self.stats.spill_fill_transfers += ic.spill_fills;
+        if ic.level != CacheKind::L1 {
+            self.stats.icache_misses += 1;
+            self.stats.l2_accesses += 1;
+            if ic.level == CacheKind::Dram {
+                self.stats.l2_misses += 1;
+                self.stats.dram_accesses += 1;
+            }
+            self.fetch_resume_at = self.cycle + ic.cycles;
+            return Ok(());
+        }
+
+        let mut bubbles = 0u64;
+        for _ in 0..self.cfg.core.fetch_width {
+            if self.machine.is_halted() {
+                self.fetch_done = true;
+                break;
+            }
+            let di = self.machine.step()?;
+            self.stats.fetched += 1;
+            let (mispredicted, taken, extra_bubbles) = self.predict_control(&di);
+            bubbles += extra_bubbles;
+            self.ifq.push_back(FetchedInst {
+                di,
+                dispatch_ready_at: self.cycle + self.cfg.pipeline.frontend_depth,
+                mispredicted,
+                rf_charged: false,
+            });
+            if mispredicted {
+                self.redirect_pending = Some(di.seq);
+                break;
+            }
+            if taken {
+                // A taken transfer ends the fetch group.
+                break;
+            }
+        }
+        if bubbles > 0 && self.redirect_pending.is_none() {
+            self.fetch_resume_at = self.cycle + 1 + bubbles;
+        }
+        Ok(())
+    }
+
+    /// Predicts a control instruction at fetch, trains the predictors,
+    /// and returns `(mispredicted, ends_fetch_group, bubble_cycles)`.
+    fn predict_control(&mut self, di: &DynInst) -> (bool, bool, u64) {
+        let op = di.inst.op;
+        if !op.is_control() {
+            return (false, false, 0);
+        }
+        let pc = di.pc;
+        let herding = self.cfg.herding.enabled;
+        let mut bubbles = 0u64;
+
+        if op.is_cond_branch() {
+            self.stats.cond_branches += 1;
+            self.stats.bpred_lookups += 1;
+            self.stats.bpred_updates += 1;
+            let pred = self.bpred.predict(pc);
+            let actual = di.taken;
+            self.bpred.update(pc, pred, actual);
+            let mut mispredicted = pred.taken != actual;
+            if pred.taken {
+                self.stats.btb_lookups += 1;
+                let out = self.btb.lookup(pc);
+                match out.target {
+                    Some(t) => {
+                        self.stats.btb_hits += 1;
+                        if out.needs_lower_dies {
+                            if herding {
+                                // §3.7: one-cycle stall to read the upper
+                                // target bits from the lower dies.
+                                self.stats.btb_full_target_stalls += 1;
+                                bubbles += 1;
+                            }
+                        } else {
+                            self.stats.btb_partial_target_hits += 1;
+                        }
+                        if actual && t != di.next_pc {
+                            mispredicted = true;
+                        }
+                    }
+                    None => {
+                        // Predicted taken with no target: redirect at
+                        // decode once the displacement is known.
+                        bubbles += 2;
+                    }
+                }
+            }
+            if actual {
+                self.stats.btb_updates += 1;
+                self.btb.update(pc, di.next_pc);
+            }
+            return (mispredicted, actual && !mispredicted, bubbles);
+        }
+
+        match op {
+            Op::Jal => {
+                self.stats.jumps += 1;
+                if di.inst.rd == th_isa::Reg::X1 {
+                    self.ras.push(pc.wrapping_add(th_isa::Inst::SIZE));
+                    self.stats.ras_pushes += 1;
+                }
+                // Direct target: available at decode; the BTB hides the
+                // decode bubble when it hits.
+                self.stats.btb_lookups += 1;
+                let out = self.btb.lookup(pc);
+                if out.target != Some(di.next_pc) {
+                    bubbles += 1;
+                    self.stats.btb_updates += 1;
+                    self.btb.update(pc, di.next_pc);
+                } else if out.needs_lower_dies && herding {
+                    self.stats.btb_full_target_stalls += 1;
+                    bubbles += 1;
+                } else {
+                    self.stats.btb_partial_target_hits += 1;
+                }
+                (false, true, bubbles)
+            }
+            Op::Jalr => {
+                self.stats.indirect_jumps += 1;
+                let is_return = di.inst.rd == th_isa::Reg::X0 && di.inst.rs1 == th_isa::Reg::X1;
+                if di.inst.rd == th_isa::Reg::X1 {
+                    self.ras.push(pc.wrapping_add(th_isa::Inst::SIZE));
+                    self.stats.ras_pushes += 1;
+                }
+                let predicted = if is_return {
+                    self.stats.ras_pops += 1;
+                    self.ras.pop()
+                } else {
+                    self.stats.btb_lookups += 1;
+                    let out = self.ibtb.lookup(pc);
+                    if let Some(t) = out.target {
+                        self.stats.btb_hits += 1;
+                        if out.needs_lower_dies && herding {
+                            self.stats.btb_full_target_stalls += 1;
+                            bubbles += 1;
+                        } else {
+                            self.stats.btb_partial_target_hits += 1;
+                        }
+                        Some(t)
+                    } else {
+                        None
+                    }
+                };
+                self.ibtb.update(pc, di.next_pc);
+                self.stats.btb_updates += 1;
+                let mispredicted = predicted != Some(di.next_pc);
+                if mispredicted {
+                    self.stats.indirect_mispredicts += 1;
+                }
+                (mispredicted, true, bubbles)
+            }
+            _ => (false, false, 0),
+        }
+    }
+
+    // ------------------------------------------------------------- dispatch
+
+    /// Whether width prediction applies to this opcode (the integer
+    /// datapath; FP values live in the full-width FP cluster).
+    fn width_predicted(op: Op) -> bool {
+        matches!(
+            op.class(),
+            OpClass::IntAlu | OpClass::IntMul | OpClass::Load | OpClass::Store
+        ) && !matches!(op, Op::Fld | Op::Fsd)
+    }
+
+    fn classify(&self, v: u64) -> Width {
+        self.cfg.herding.policy.classify(v)
+    }
+
+    fn dispatch(&mut self) {
+        let herding = self.cfg.herding.enabled;
+
+        // §3.1: one unsafe operand-width misprediction stalls the whole
+        // register-read group for one cycle (at most one stall per group).
+        if herding {
+            let group_end = self.cfg.core.decode_width.min(self.ifq.len());
+            let mut must_stall = false;
+            for f in self.ifq.iter().take(group_end) {
+                if f.dispatch_ready_at > self.cycle {
+                    break;
+                }
+                if !f.rf_charged && Self::width_predicted(f.di.inst.op) {
+                    let pred = self.width_pred.peek(f.di.pc);
+                    let in_width = self.operand_width(&f.di);
+                    if pred == Width::Low && in_width == Width::Full {
+                        must_stall = true;
+                    }
+                }
+            }
+            if must_stall {
+                // §3.1: the group stalls exactly one cycle regardless of
+                // how many of its instructions mispredicted.
+                for f in self.ifq.iter_mut().take(group_end) {
+                    if f.dispatch_ready_at <= self.cycle {
+                        f.rf_charged = true;
+                    }
+                }
+                self.stats.rf_unsafe_group_stalls += 1;
+                return; // the whole group dispatches next cycle
+            }
+        }
+
+        for _ in 0..self.cfg.core.decode_width {
+            let Some(front) = self.ifq.front() else { break };
+            if front.dispatch_ready_at > self.cycle {
+                break;
+            }
+            let op = front.di.inst.op;
+            // Structural hazards.
+            if self.rob.len() >= self.cfg.core.rob_size {
+                self.stats.rob_full_stalls += 1;
+                break;
+            }
+            let needs_rs = op.fu_class() != FuClass::None;
+            if needs_rs && self.scheduler.is_full() {
+                self.stats.rs_full_stalls += 1;
+                break;
+            }
+            match op.class() {
+                OpClass::Load if !self.lsq.lq_has_space() => {
+                    self.stats.lsq_full_stalls += 1;
+                    break;
+                }
+                OpClass::Store if !self.lsq.sq_has_space() => {
+                    self.stats.lsq_full_stalls += 1;
+                    break;
+                }
+                _ => {}
+            }
+
+            let f = self.ifq.pop_front().expect("front checked");
+            let di = f.di;
+            self.stats.dispatched += 1;
+            self.stats.rename_ops += 1;
+
+            // Rename: resolve producers, claim the destination.
+            let mut src_seq = [None, None];
+            let srcs = [
+                (di.inst.op.reads_rs1(), di.inst.rs1, di.rs1_val),
+                (di.inst.op.reads_rs2(), di.inst.rs2, di.rs2_val),
+            ];
+            for (i, (reads, reg, val)) in srcs.into_iter().enumerate() {
+                if reads && !reg.is_zero() {
+                    src_seq[i] = self.rename[reg.index()];
+                    // Register-file read accounting (integer side only):
+                    // the width memoization bit on the top die (§3.1)
+                    // says how many dies the read touches.
+                    if !reg.is_fp() {
+                        let memo_width = self.width_memo.width(reg.index());
+                        debug_assert_eq!(
+                            memo_width,
+                            self.classify(val),
+                            "memo bit out of sync with architectural value"
+                        );
+                        match memo_width {
+                            Width::Low => self.stats.rf_reads_low += 1,
+                            Width::Full => self.stats.rf_reads_full += 1,
+                        }
+                    }
+                }
+            }
+            if let Some(rd) = di.inst.dest() {
+                self.rename[rd.index()] = Some(di.seq);
+                // Program-order memoization-bit update (§3.1): FP values
+                // are always full-width.
+                if rd.is_fp() {
+                    self.width_memo.set(rd.index(), Width::Full);
+                } else {
+                    self.width_memo.record_write(rd.index(), di.rd_val);
+                }
+            }
+
+            // Width prediction (§3).
+            let mut pred_width = Width::Full;
+            let mut unsafe_in = false;
+            let mut unsafe_out = false;
+            let in_width = self.operand_width(&di);
+            let out_width = self.result_width(&di);
+            if herding && Self::width_predicted(op) {
+                pred_width = self.width_pred.predict(di.pc);
+                let actual =
+                    if in_width == Width::Full || out_width == Width::Full { Width::Full } else { Width::Low };
+                unsafe_in = pred_width == Width::Low && in_width == Width::Full;
+                // Stores learn their data width by commit (§3.6: "stores
+                // will not cause unsafe width mispredictions"); loads
+                // handle result width at the cache (§3.6).
+                unsafe_out = pred_width == Width::Low
+                    && out_width == Width::Full
+                    && matches!(op.class(), OpClass::IntAlu | OpClass::IntMul);
+                self.width_pred.update(di.pc, actual);
+                if unsafe_in || unsafe_out {
+                    // §3.1: correct the prediction to stop repeat stalls.
+                    self.width_pred.force_full(di.pc);
+                }
+            }
+
+            // Queue allocation.
+            let rs_die = if needs_rs {
+                let die = self.scheduler.alloc().expect("checked not full");
+                self.stats.rs_allocs_per_die[die] += 1;
+                Some(die)
+            } else {
+                None
+            };
+            match op.class() {
+                OpClass::Load => self.lsq.alloc_load(),
+                OpClass::Store => self.lsq.alloc_store(
+                    di.seq,
+                    di.ea.expect("stores have addresses"),
+                    op.mem_size().expect("stores are sized") as u64,
+                ),
+                _ => {}
+            }
+
+            let state = if needs_rs { SlotState::Waiting } else { SlotState::Done };
+            let complete_at = if needs_rs { u64::MAX } else { self.cycle + 1 };
+            self.rob.push_back(Slot {
+                di,
+                state,
+                rs_die,
+                src_seq,
+                complete_at,
+                mispredicted: f.mispredicted,
+                pred_width,
+                in_width,
+                out_width,
+                unsafe_in,
+                unsafe_out,
+                wrote_back: !needs_rs,
+            });
+        }
+    }
+
+    /// Width of the integer operand set the width prediction covers.
+    ///
+    /// Memory instructions are special: their base-address operand is
+    /// "almost always full-width" and is handled by partial *address*
+    /// memoization in the LSQ (§3.5), not by the instruction's width
+    /// prediction, which covers the memory **data** (§3.6). Loads
+    /// therefore have no width-predicted input operand; a store's
+    /// predicted operand is its data register.
+    fn operand_width(&self, di: &DynInst) -> Width {
+        match di.inst.op.class() {
+            OpClass::Load => Width::Low,
+            OpClass::Store => {
+                if di.inst.rs2.is_fp() {
+                    Width::Full
+                } else {
+                    self.classify(di.rs2_val)
+                }
+            }
+            _ => {
+                let mut w = Width::Low;
+                if di.inst.op.reads_rs1()
+                    && !di.inst.rs1.is_fp()
+                    && self.classify(di.rs1_val) == Width::Full
+                {
+                    w = Width::Full;
+                }
+                if di.inst.op.reads_rs2()
+                    && !di.inst.rs2.is_fp()
+                    && self.classify(di.rs2_val) == Width::Full
+                {
+                    w = Width::Full;
+                }
+                w
+            }
+        }
+    }
+
+    /// Width of the produced value (loads: the loaded data; stores: the
+    /// stored data).
+    fn result_width(&self, di: &DynInst) -> Width {
+        if di.is_store() {
+            return self.classify(di.rs2_val);
+        }
+        match di.inst.dest() {
+            Some(rd) if !rd.is_fp() => self.classify(di.rd_val),
+            _ => {
+                if di.is_store() || di.inst.dest().is_some() {
+                    Width::Full // FP values are always full-width
+                } else {
+                    Width::Low
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- issue
+
+    fn src_ready(&self, seq: Option<u64>) -> bool {
+        match seq {
+            None => true,
+            Some(s) => {
+                if s < self.rob_head_seq {
+                    true // already committed
+                } else {
+                    match self.rob.get((s - self.rob_head_seq) as usize) {
+                        Some(p) => p.state == SlotState::Done && p.complete_at <= self.cycle,
+                        None => true,
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue(&mut self) {
+        // Residency accounting: every occupied RS entry burns on its die
+        // for this cycle.
+        for (die, occ) in self.scheduler.occupancy().into_iter().enumerate() {
+            self.stats.rs_occupancy_cycles_per_die[die] += occ as u64;
+        }
+
+        let mut issued = 0usize;
+        let mut alu_free = self.cfg.core.int_alu;
+        let mut shift_free = self.cfg.core.int_shift;
+        let mut mul_free = self.cfg.core.int_mul;
+        let mut fpadd_free = self.cfg.core.fp_add;
+        let mut fpmul_free = self.cfg.core.fp_mul;
+        let mut fpdiv_free = self.cfg.core.fp_div;
+        let mut st_ports = self.cfg.core.mem_ports;
+        let mut ld_ports = self.cfg.core.mem_ports + self.cfg.core.load_only_ports;
+
+        let lat = self.cfg.lat;
+        let herding = self.cfg.herding.enabled;
+        let cycle = self.cycle;
+
+        for idx in 0..self.rob.len() {
+            if issued >= self.cfg.core.issue_width {
+                break;
+            }
+            let slot = &self.rob[idx];
+            if slot.state != SlotState::Waiting {
+                continue;
+            }
+            if !self.src_ready(slot.src_seq[0]) || !self.src_ready(slot.src_seq[1]) {
+                continue;
+            }
+            let slot = &self.rob[idx];
+            let op = slot.di.inst.op;
+            let fu = op.fu_class();
+
+            // Functional-unit availability.
+            let fu_ok = match fu {
+                FuClass::IntAlu => alu_free > 0,
+                FuClass::IntShift => shift_free > 0,
+                FuClass::IntMul => {
+                    mul_free > 0
+                        && (!matches!(op, Op::Div | Op::Rem) || self.int_div_busy_until <= cycle)
+                }
+                FuClass::FpAdd => fpadd_free > 0,
+                FuClass::FpMul => fpmul_free > 0,
+                FuClass::FpDiv => fpdiv_free > 0 && self.fp_div_busy_until <= cycle,
+                FuClass::Mem => {
+                    if op.class() == OpClass::Store {
+                        st_ports > 0
+                    } else {
+                        ld_ports > 0
+                    }
+                }
+                FuClass::None => true,
+            };
+            if !fu_ok {
+                continue;
+            }
+
+            // Memory ordering for loads.
+            let mut load_plan: Option<(u64, bool)> = None; // (complete_at, forwarded)
+            if op.class() == OpClass::Load {
+                let ea = self.rob[idx].di.ea.expect("loads have addresses");
+                let size = op.mem_size().unwrap() as u64;
+                match self.lsq.search_for_load(self.rob[idx].di.seq, ea, size) {
+                    LoadSearch::Forward(data_ready) => {
+                        if data_ready == u64::MAX {
+                            continue; // producing store has not executed yet
+                        }
+                        let done = (cycle + lat.agu).max(data_ready) + 1;
+                        load_plan = Some((done, true));
+                    }
+                    LoadSearch::PartialOverlap(data_ready) => {
+                        if data_ready == u64::MAX {
+                            continue;
+                        }
+                        // Replay after the store's data is available, then
+                        // access the cache.
+                        let start = (cycle + lat.agu).max(data_ready);
+                        let mem = self.hierarchy.data_access(ea, false);
+                        self.record_dcache_access(idx, ea, &mem, false);
+                        load_plan = Some((start + mem.cycles, false));
+                    }
+                    LoadSearch::Cache => {
+                        let ea = self.rob[idx].di.ea.unwrap();
+                        let mem = self.hierarchy.data_access(ea, false);
+                        self.record_dcache_access(idx, ea, &mem, false);
+                        load_plan = Some((cycle + lat.agu + mem.cycles, false));
+                    }
+                }
+            }
+
+            // Latency.
+            let slot = &self.rob[idx];
+            let base_latency = match op.fu_class() {
+                FuClass::IntAlu => lat.int_alu,
+                FuClass::IntShift => lat.int_shift,
+                FuClass::IntMul => {
+                    if matches!(op, Op::Div | Op::Rem) {
+                        lat.int_div
+                    } else {
+                        lat.int_mul
+                    }
+                }
+                FuClass::FpAdd => lat.fp_add,
+                FuClass::FpMul => lat.fp_mul,
+                FuClass::FpDiv => {
+                    if op == Op::Fsqrt {
+                        lat.fp_sqrt
+                    } else {
+                        lat.fp_div
+                    }
+                }
+                FuClass::Mem => lat.agu,
+                FuClass::None => 1,
+            };
+
+            let mut complete_at = match load_plan {
+                Some((done, _)) => done,
+                None => cycle + base_latency,
+            };
+
+            // Width-misprediction execution penalties.
+            let (slot_di, slot_unsafe_in, slot_unsafe_out, slot_pred_width) =
+                (slot.di, slot.unsafe_in, slot.unsafe_out, slot.pred_width);
+            if herding {
+                if slot_unsafe_in
+                    && matches!(op.class(), OpClass::IntAlu | OpClass::IntMul)
+                {
+                    // §3.2: one cycle to re-enable the upper 48 bits.
+                    complete_at += 1;
+                    self.stats.exec_reenable_stalls += 1;
+                }
+                if slot_unsafe_out {
+                    // §3.2: output width misprediction forces re-execution.
+                    complete_at += base_latency;
+                    self.stats.output_width_replays += 1;
+                }
+                if op.class() == OpClass::Load
+                    && slot_pred_width == Width::Low
+                    && !self.load_serviced_from_top_die(&slot_di)
+                {
+                    // §3.6: stall the cache pipeline one cycle; the tag
+                    // match already identified the way holding the upper
+                    // bits.
+                    complete_at += 1;
+                    self.stats.dcache_width_stalls += 1;
+                }
+            }
+
+            // FP loads may pay the extra routing cycle (§3.8).
+            if op == Op::Fld && self.cfg.pipeline.fp_load_extra_cycle {
+                complete_at += 1;
+            }
+
+            // Commit FU reservations.
+            match fu {
+                FuClass::IntAlu => alu_free -= 1,
+                FuClass::IntShift => shift_free -= 1,
+                FuClass::IntMul => {
+                    mul_free -= 1;
+                    if matches!(op, Op::Div | Op::Rem) {
+                        self.int_div_busy_until = complete_at;
+                    }
+                }
+                FuClass::FpAdd => fpadd_free -= 1,
+                FuClass::FpMul => fpmul_free -= 1,
+                FuClass::FpDiv => {
+                    fpdiv_free -= 1;
+                    self.fp_div_busy_until = complete_at;
+                }
+                FuClass::Mem => {
+                    if op.class() == OpClass::Store {
+                        st_ports -= 1;
+                    } else {
+                        ld_ports -= 1;
+                    }
+                }
+                FuClass::None => {}
+            }
+
+            // Stores: data becomes forwardable once the store executes.
+            if op.class() == OpClass::Store {
+                let ea = self.rob[idx].di.ea.unwrap();
+                let seq = self.rob[idx].di.seq;
+                self.lsq.set_store_ready(seq, cycle + lat.agu);
+                if self.cfg.herding.pam {
+                    self.pam.broadcast_store(ea);
+                }
+            } else if op.class() == OpClass::Load {
+                if self.cfg.herding.pam {
+                    self.pam.broadcast_load(self.rob[idx].di.ea.unwrap());
+                }
+                if load_plan.is_some_and(|(_, fwd)| fwd) {
+                    self.stats.store_forwards += 1;
+                }
+            }
+
+            // Execution accounting.
+            match op.class() {
+                OpClass::IntAlu | OpClass::IntMul | OpClass::Control => {
+                    let w = if self.rob[idx].in_width == Width::Full
+                        || self.rob[idx].out_width == Width::Full
+                    {
+                        Width::Full
+                    } else {
+                        Width::Low
+                    };
+                    match w {
+                        Width::Low => self.stats.int_ops_low += 1,
+                        Width::Full => self.stats.int_ops_full += 1,
+                    }
+                }
+                OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => self.stats.fp_ops += 1,
+                _ => {}
+            }
+
+            let slot = &mut self.rob[idx];
+            slot.state = SlotState::Issued;
+            slot.complete_at = complete_at;
+            if let Some(die) = slot.rs_die.take() {
+                self.scheduler.free(die);
+            }
+            self.stats.issued += 1;
+            issued += 1;
+        }
+    }
+
+    /// Whether a low-width-predicted load was serviced without touching
+    /// the lower three dies (§3.6 partial value encoding, or the plain
+    /// zero-upper memoization bit when PVE is off).
+    fn load_serviced_from_top_die(&mut self, di: &DynInst) -> bool {
+        let ea = di.ea.expect("load");
+        let enc = UpperEncoding::classify(di.rd_val, ea);
+        self.stats.dcache_encodings.record(enc);
+        if self.cfg.herding.partial_value_encoding {
+            enc.top_die_only()
+        } else {
+            enc == UpperEncoding::Zeros || enc == UpperEncoding::Ones
+        }
+    }
+
+    fn record_dcache_access(
+        &mut self,
+        _idx: usize,
+        _ea: u64,
+        mem: &crate::cache::AccessResult,
+        write: bool,
+    ) {
+        self.stats.dcache_accesses += 1;
+        self.stats.dtlb_accesses += 1;
+        if mem.tlb_miss {
+            self.stats.dtlb_misses += 1;
+        }
+        self.stats.spill_fill_transfers += mem.spill_fills;
+        if mem.level != CacheKind::L1 {
+            self.stats.dcache_misses += 1;
+            self.stats.l2_accesses += 1;
+            if mem.level == CacheKind::Dram {
+                self.stats.l2_misses += 1;
+                self.stats.dram_accesses += 1;
+            }
+        }
+        let _ = write;
+    }
+
+    // ---------------------------------------------------------- completion
+
+    fn scan_completions(&mut self) {
+        for idx in 0..self.rob.len() {
+            let slot = &self.rob[idx];
+            if slot.state != SlotState::Issued || slot.complete_at > self.cycle {
+                continue;
+            }
+            let di = slot.di;
+            let out_width = slot.out_width;
+            let mispredicted = slot.mispredicted;
+            {
+                let slot = &mut self.rob[idx];
+                slot.state = SlotState::Done;
+                slot.wrote_back = true;
+            }
+
+            // Writeback accounting: register file, ROB result field,
+            // bypass network, and the wakeup tag broadcast.
+            if let Some(rd) = di.inst.dest() {
+                if rd.is_fp() {
+                    self.stats.rf_writes_full += 1;
+                    self.stats.rob_writes_full += 1;
+                    self.stats.bypass_full += 1;
+                } else {
+                    match out_width {
+                        Width::Low => {
+                            self.stats.rf_writes_low += 1;
+                            self.stats.rob_writes_low += 1;
+                            self.stats.bypass_low += 1;
+                        }
+                        Width::Full => {
+                            self.stats.rf_writes_full += 1;
+                            self.stats.rob_writes_full += 1;
+                            self.stats.bypass_full += 1;
+                        }
+                    }
+                }
+                self.stats.tag_broadcasts += 1;
+                let dies = self.scheduler.broadcast_dies();
+                for (d, driven) in dies.iter().enumerate() {
+                    if *driven || !self.cfg.herding.enabled {
+                        self.stats.tag_broadcast_die_driven[d] += 1;
+                    }
+                }
+            }
+
+            // Branch resolution: release the fetch redirect.
+            if mispredicted && self.redirect_pending == Some(di.seq) {
+                self.redirect_pending = None;
+                self.fetch_resume_at =
+                    self.fetch_resume_at.max(self.cycle + self.cfg.pipeline.redirect_extra);
+                if di.inst.op.is_cond_branch() {
+                    self.stats.cond_mispredicts += 1;
+                }
+            }
+        }
+    }
+
+    // --------------------------------------------------------------- commit
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.core.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != SlotState::Done || head.complete_at > self.cycle {
+                break;
+            }
+            let slot = self.rob.pop_front().expect("front checked");
+            self.rob_head_seq = slot.di.seq + 1;
+            let di = slot.di;
+
+            // ROB result read at retirement (architected-state copy).
+            match slot.out_width {
+                Width::Low => self.stats.rob_reads_low += 1,
+                Width::Full => self.stats.rob_reads_full += 1,
+            }
+
+            match di.inst.op.class() {
+                OpClass::Load => {
+                    self.stats.loads += 1;
+                    self.lsq.free_load();
+                }
+                OpClass::Store => {
+                    self.stats.stores += 1;
+                    self.lsq.commit_store(di.seq);
+                    let ea = di.ea.expect("store");
+                    let mem = self.hierarchy.data_access(ea, true);
+                    self.record_dcache_access(0, ea, &mem, true);
+                    match self.classify(di.rs2_val) {
+                        Width::Low => self.stats.dcache_writes_low += 1,
+                        Width::Full => self.stats.dcache_writes_full += 1,
+                    }
+                }
+                _ => {}
+            }
+
+            if self.rename[di.inst.rd.index()] == Some(di.seq) {
+                self.rename[di.inst.rd.index()] = None;
+            }
+            self.stats.committed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use th_isa::parse_asm;
+
+    fn run(src: &str, cfg: SimConfig) -> SimResult {
+        let p = parse_asm(src).expect("assembles");
+        Simulator::new(cfg).run(&p, 1_000_000).expect("runs")
+    }
+
+    const COUNT_LOOP: &str = "
+        li   x1, 0
+        li   x2, 2000
+    loop:
+        addi x1, x1, 1
+        bne  x1, x2, loop
+        halt
+    ";
+
+    #[test]
+    fn simple_loop_completes_with_sane_ipc() {
+        let r = run(COUNT_LOOP, SimConfig::baseline());
+        assert!(r.stats.committed >= 4003, "committed {}", r.stats.committed);
+        let ipc = r.ipc();
+        assert!(ipc > 0.8 && ipc < 4.0, "ipc = {ipc}");
+        // The loop branch is almost always taken and easy to predict.
+        assert!(r.stats.branch_accuracy() > 0.99, "bacc {}", r.stats.branch_accuracy());
+    }
+
+    #[test]
+    fn independent_ops_reach_high_ipc() {
+        let r = run(
+            "
+            li   x10, 0
+            li   x11, 5000
+        loop:
+            addi x1, x1, 1
+            addi x2, x2, 1
+            addi x3, x3, 1
+            addi x10, x10, 1
+            bne  x10, x11, loop
+            halt
+        ",
+            SimConfig::baseline(),
+        );
+        // 5 instructions per iteration, 4-wide machine: IPC should be
+        // well above 2.
+        assert!(r.ipc() > 2.0, "ipc = {}", r.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_is_serialized() {
+        let r = run(
+            "
+            li   x10, 0
+            li   x11, 3000
+        loop:
+            add  x1, x1, x10
+            add  x1, x1, x10
+            add  x1, x1, x10
+            addi x10, x10, 1
+            bne  x10, x11, loop
+            halt
+        ",
+            SimConfig::baseline(),
+        );
+        // The x1 chain limits ILP: 3 dependent adds per iteration.
+        assert!(r.ipc() < 2.3, "ipc = {}", r.ipc());
+    }
+
+    #[test]
+    fn mispredict_penalty_shows_up() {
+        // A data-dependent unpredictable branch: bit 17 of an LCG state.
+        let r = run(
+            "
+            li   x10, 0
+            li   x11, 4000
+            li   x12, 12345
+            li   x15, 6364136223846793005
+        loop:
+            mul  x12, x12, x15
+            addi x12, x12, 1442695041
+            srli x13, x12, 17
+            andi x13, x13, 1
+            beq  x13, x0, skip
+            addi x14, x14, 1
+        skip:
+            addi x10, x10, 1
+            bne  x10, x11, loop
+            halt
+        ",
+            SimConfig::baseline(),
+        );
+        assert!(
+            r.stats.branch_accuracy() < 0.95,
+            "branch accuracy suspiciously high: {}",
+            r.stats.branch_accuracy()
+        );
+        assert!(r.stats.cond_mispredicts > 100);
+    }
+
+    #[test]
+    fn memory_bound_loop_hits_dram() {
+        // Stride through 8 MB — far beyond the 4 MB L2.
+        let r = run(
+            "
+            .zeros buf 64
+            li   x1, 0x100000
+            li   x2, 0x900000
+        loop:
+            ld   x3, 0(x1)
+            addi x1, x1, 64
+            bne  x1, x2, loop
+            halt
+        ",
+            SimConfig::baseline(),
+        );
+        assert!(r.stats.dram_accesses > 100_000, "dram {}", r.stats.dram_accesses);
+        assert!(r.ipc() < 0.5, "memory-bound ipc = {}", r.ipc());
+    }
+
+    #[test]
+    fn faster_clock_lowers_ipc_of_memory_bound_code() {
+        let src = "
+            li   x1, 0x100000
+            li   x2, 0x500000
+        loop:
+            ld   x3, 0(x1)
+            add  x4, x4, x3
+            addi x1, x1, 64
+            bne  x1, x2, loop
+            halt
+        ";
+        let base = run(src, SimConfig::baseline());
+        let fast = run(src, SimConfig::fast(3.93));
+        assert!(
+            fast.ipc() < base.ipc(),
+            "fast {} !< base {}",
+            fast.ipc(),
+            base.ipc()
+        );
+        // But absolute performance (IPns) must still improve.
+        assert!(fast.ipns() > base.ipns());
+    }
+
+    #[test]
+    fn store_load_forwarding() {
+        let r = run(
+            "
+            .zeros buf 64
+            la   x9, buf
+            li   x10, 0
+            li   x11, 2000
+        loop:
+            sd   x10, 0(x9)
+            ld   x3, 0(x9)
+            addi x10, x10, 1
+            bne  x10, x11, loop
+            halt
+        ",
+            SimConfig::baseline(),
+        );
+        assert!(r.stats.store_forwards > 1500, "forwards {}", r.stats.store_forwards);
+    }
+
+    #[test]
+    fn herding_counts_width_activity() {
+        let r = run(COUNT_LOOP, SimConfig::thermal_herding());
+        let s = &r.stats;
+        // Counter values 0..2000: mostly low-width.
+        assert!(s.int_ops_low > s.int_ops_full, "low {} full {}", s.int_ops_low, s.int_ops_full);
+        assert!(s.width_pred.predictions > 1000);
+        assert!(s.width_pred.accuracy() > 0.9, "width acc {}", s.width_pred.accuracy());
+        // Herded allocation keeps the top die busiest.
+        assert!(s.rs_top_die_fraction() > 0.5, "top die {}", s.rs_top_die_fraction());
+        assert!(s.broadcast_gating_fraction() > 0.0);
+    }
+
+    #[test]
+    fn herding_ipc_penalty_is_small() {
+        // §3.8: ~97% width prediction accuracy avoids severe IPC loss.
+        let base = run(COUNT_LOOP, SimConfig::baseline());
+        let th = run(COUNT_LOOP, SimConfig::thermal_herding());
+        let degradation = 1.0 - th.ipc() / base.ipc();
+        assert!(degradation < 0.05, "TH degraded IPC by {degradation:.3}");
+    }
+
+    #[test]
+    fn pipe_config_improves_branchy_code() {
+        let src = "
+            li   x10, 0
+            li   x11, 4000
+            li   x12, 99991
+        loop:
+            mul  x12, x12, x12
+            addi x12, x12, 13
+            andi x13, x12, 4
+            beq  x13, x0, skip
+            addi x14, x14, 1
+        skip:
+            addi x10, x10, 1
+            bne  x10, x11, loop
+            halt
+        ";
+        let base = run(src, SimConfig::baseline());
+        let pipe = run(src, SimConfig::pipe());
+        assert!(
+            pipe.ipc() > base.ipc(),
+            "pipe {} !> base {}",
+            pipe.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn pam_sees_stack_locality() {
+        let r = run(
+            "
+            .zeros stack 4096
+            la   x2, stack
+            li   x10, 0
+            li   x11, 1000
+        loop:
+            sd   x10, 0(x2)
+            sd   x10, 8(x2)
+            ld   x3, 0(x2)
+            ld   x4, 8(x2)
+            addi x10, x10, 1
+            bne  x10, x11, loop
+            halt
+        ",
+            SimConfig::thermal_herding(),
+        );
+        assert!(r.stats.pam.match_rate() > 0.9, "pam {}", r.stats.pam.match_rate());
+    }
+
+    #[test]
+    fn fp_pipeline_executes() {
+        let r = run(
+            "
+            li   x1, 1
+            fcvt.d.l f1, x1
+            li   x10, 0
+            li   x11, 500
+        loop:
+            fadd f2, f2, f1
+            fmul f3, f2, f1
+            addi x10, x10, 1
+            bne  x10, x11, loop
+            fcvt.l.d x5, f2
+            halt
+        ",
+            SimConfig::baseline(),
+        );
+        assert!(r.stats.fp_ops > 1000);
+        // li + fcvt + li + li + 4 insts × 500 iterations + fcvt + halt.
+        assert_eq!(r.stats.committed, 2006);
+    }
+
+    #[test]
+    fn result_is_deterministic() {
+        let a = run(COUNT_LOOP, SimConfig::baseline());
+        let b = run(COUNT_LOOP, SimConfig::baseline());
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.committed, b.stats.committed);
+    }
+
+    #[test]
+    fn inst_budget_stops_early() {
+        let p = parse_asm(COUNT_LOOP).unwrap();
+        let r = Simulator::new(SimConfig::baseline()).run(&p, 100).unwrap();
+        assert!(r.stats.committed >= 100 && r.stats.committed < 110);
+    }
+}

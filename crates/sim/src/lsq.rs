@@ -1,0 +1,223 @@
+//! Load and store queue ordering model (§3.5).
+//!
+//! The queues track program order between memory operations. Memory
+//! dependence prediction is modelled as *perfect* (the oracle-driven
+//! simulator knows every store's address at dispatch, standing in for the
+//! aggressive speculation Core 2-class machines performed): a load waits
+//! only for truly conflicting older stores, and forwards when an older
+//! store wholly covers it — after that store has executed and its data is
+//! available. Partial address memoization statistics are recorded on
+//! every address broadcast into the queues.
+
+use std::collections::VecDeque;
+
+/// One store tracked by the store queue.
+#[derive(Clone, Copy, Debug)]
+struct SqEntry {
+    seq: u64,
+    addr: u64,
+    size: u64,
+    /// Cycle at which the store executed (address broadcast + data
+    /// available); `u64::MAX` until it issues.
+    ready_cycle: u64,
+}
+
+/// Result of a load's store-queue search.
+///
+/// Cycle payloads are `u64::MAX` while the matching store has not yet
+/// executed — the load cannot issue before then.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadSearch {
+    /// An older store wholly covers the load: forward from it (the
+    /// payload is the cycle the store data became available).
+    Forward(u64),
+    /// An older store partially overlaps the load: the load must wait for
+    /// the store's data and then access memory.
+    PartialOverlap(u64),
+    /// No conflict: access the cache.
+    Cache,
+}
+
+/// The load/store queues.
+#[derive(Clone, Debug)]
+pub struct Lsq {
+    sq: VecDeque<SqEntry>,
+    sq_cap: usize,
+    lq_occupancy: usize,
+    lq_cap: usize,
+}
+
+impl Lsq {
+    /// Creates queues with the Table 1 capacities.
+    pub fn new(lq_cap: usize, sq_cap: usize) -> Lsq {
+        Lsq { sq: VecDeque::new(), sq_cap, lq_occupancy: 0, lq_cap }
+    }
+
+    /// Whether a load can be allocated.
+    pub fn lq_has_space(&self) -> bool {
+        self.lq_occupancy < self.lq_cap
+    }
+
+    /// Whether a store can be allocated.
+    pub fn sq_has_space(&self) -> bool {
+        self.sq.len() < self.sq_cap
+    }
+
+    /// Current load-queue occupancy.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn lq_occupancy(&self) -> usize {
+        self.lq_occupancy
+    }
+
+    /// Current store-queue occupancy.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn sq_occupancy(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Allocates a load-queue entry (call after checking
+    /// [`Lsq::lq_has_space`]).
+    pub fn alloc_load(&mut self) {
+        debug_assert!(self.lq_has_space());
+        self.lq_occupancy += 1;
+    }
+
+    /// Releases a load-queue entry at commit.
+    pub fn free_load(&mut self) {
+        debug_assert!(self.lq_occupancy > 0);
+        self.lq_occupancy -= 1;
+    }
+
+    /// Allocates a store-queue entry for `seq` (program order) with its
+    /// oracle-known address.
+    pub fn alloc_store(&mut self, seq: u64, addr: u64, size: u64) {
+        debug_assert!(self.sq_has_space());
+        debug_assert!(self.sq.back().is_none_or(|e| e.seq < seq), "stores must arrive in order");
+        self.sq.push_back(SqEntry { seq, addr, size, ready_cycle: u64::MAX });
+    }
+
+    /// Records that a store has executed (data available for forwarding).
+    pub fn set_store_ready(&mut self, seq: u64, cycle: u64) {
+        if let Some(e) = self.sq.iter_mut().find(|e| e.seq == seq) {
+            e.ready_cycle = cycle;
+        }
+    }
+
+    /// Removes the oldest store (at commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty or the head is not `seq` (stores
+    /// commit in order).
+    pub fn commit_store(&mut self, seq: u64) {
+        let head = self.sq.pop_front().expect("store queue underflow");
+        assert_eq!(head.seq, seq, "stores must commit in order");
+    }
+
+    /// Searches the store queue on behalf of the load `load_seq`
+    /// accessing `[addr, addr+size)`.
+    pub fn search_for_load(&self, load_seq: u64, addr: u64, size: u64) -> LoadSearch {
+        // Walk older stores youngest-first so the nearest match wins.
+        for e in self.sq.iter().rev() {
+            if e.seq >= load_seq {
+                continue;
+            }
+            let covers = e.addr <= addr && addr + size <= e.addr + e.size;
+            let overlaps = e.addr < addr + size && addr < e.addr + e.size;
+            if covers {
+                return LoadSearch::Forward(e.ready_cycle);
+            }
+            if overlaps {
+                return LoadSearch::PartialOverlap(e.ready_cycle);
+            }
+        }
+        LoadSearch::Cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_limits() {
+        let mut lsq = Lsq::new(2, 1);
+        assert!(lsq.lq_has_space());
+        lsq.alloc_load();
+        lsq.alloc_load();
+        assert!(!lsq.lq_has_space());
+        lsq.free_load();
+        assert!(lsq.lq_has_space());
+
+        assert!(lsq.sq_has_space());
+        lsq.alloc_store(1, 0x100, 8);
+        assert!(!lsq.sq_has_space());
+    }
+
+    #[test]
+    fn disjoint_load_never_waits() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.alloc_store(5, 0x900, 8);
+        // Address disjoint from the pending store: the load can go to the
+        // cache even though the store has not executed.
+        assert_eq!(lsq.search_for_load(10, 0x100, 8), LoadSearch::Cache);
+    }
+
+    #[test]
+    fn covered_load_waits_until_store_executes() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.alloc_store(5, 0x100, 8);
+        assert_eq!(lsq.search_for_load(10, 0x100, 8), LoadSearch::Forward(u64::MAX));
+        lsq.set_store_ready(5, 12);
+        assert_eq!(lsq.search_for_load(10, 0x100, 8), LoadSearch::Forward(12));
+    }
+
+    #[test]
+    fn forwarding_requires_full_coverage() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.alloc_store(5, 0x100, 8);
+        lsq.set_store_ready(5, 12);
+        // Fully covered 4-byte load inside the 8-byte store.
+        assert_eq!(lsq.search_for_load(9, 0x104, 4), LoadSearch::Forward(12));
+        // Partial overlap: load straddles the store's end.
+        assert_eq!(lsq.search_for_load(9, 0x104, 8), LoadSearch::PartialOverlap(12));
+    }
+
+    #[test]
+    fn younger_stores_are_ignored() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.alloc_store(20, 0x100, 8);
+        lsq.set_store_ready(20, 3);
+        // The load is older than the store: no conflict.
+        assert_eq!(lsq.search_for_load(10, 0x100, 8), LoadSearch::Cache);
+    }
+
+    #[test]
+    fn nearest_older_store_wins() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.alloc_store(1, 0x100, 8);
+        lsq.alloc_store(2, 0x100, 8);
+        lsq.set_store_ready(1, 5);
+        lsq.set_store_ready(2, 9);
+        assert_eq!(lsq.search_for_load(10, 0x100, 8), LoadSearch::Forward(9));
+    }
+
+    #[test]
+    fn commit_in_order() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.alloc_store(1, 0, 8);
+        lsq.alloc_store(2, 8, 8);
+        lsq.commit_store(1);
+        lsq.commit_store(2);
+        assert_eq!(lsq.sq_occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_commit_panics() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.alloc_store(1, 0, 8);
+        lsq.alloc_store(2, 8, 8);
+        lsq.commit_store(2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Reservation-station occupancy with 3D-aware allocation (§3.4).
+//!
+//! The RS entries are stacked one quarter per die. The baseline allocator
+//! scatters entries round-robin (a planar design has no reason to prefer
+//! any entry); the Thermal Herding allocator fills the die closest to the
+//! heat sink first, falling to lower dies only when the upper ones are
+//! full. Per-die tag broadcasts are gated when a die holds no occupied
+//! entries.
+
+/// RS allocation policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Scatter allocations across dies (planar-equivalent behaviour).
+    RoundRobin,
+    /// Fill the top die first (§3.4: "herds instructions toward the top
+    /// die to keep the active entries close to the heat sink").
+    HerdTopFirst,
+}
+
+/// Tracks per-die reservation-station occupancy.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    per_die: usize,
+    occupancy: [usize; 4],
+    policy: AllocPolicy,
+    rr_next: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `rs_size` total entries split over 4 dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rs_size` is not divisible by 4.
+    pub fn new(rs_size: usize, policy: AllocPolicy) -> Scheduler {
+        assert!(rs_size.is_multiple_of(4), "RS entries must split evenly across 4 dies");
+        Scheduler { per_die: rs_size / 4, occupancy: [0; 4], policy, rr_next: 0 }
+    }
+
+    /// Total occupied entries.
+    pub fn occupied(&self) -> usize {
+        self.occupancy.iter().sum()
+    }
+
+    /// Whether the scheduler is full.
+    pub fn is_full(&self) -> bool {
+        self.occupied() == self.per_die * 4
+    }
+
+    /// Per-die occupancy.
+    pub fn occupancy(&self) -> [usize; 4] {
+        self.occupancy
+    }
+
+    /// Allocates one entry and returns the die it landed on, or `None` if
+    /// all entries are busy.
+    pub fn alloc(&mut self) -> Option<usize> {
+        match self.policy {
+            AllocPolicy::HerdTopFirst => {
+                let die = (0..4).find(|&d| self.occupancy[d] < self.per_die)?;
+                self.occupancy[die] += 1;
+                Some(die)
+            }
+            AllocPolicy::RoundRobin => {
+                for i in 0..4 {
+                    let die = (self.rr_next + i) % 4;
+                    if self.occupancy[die] < self.per_die {
+                        self.occupancy[die] += 1;
+                        self.rr_next = (die + 1) % 4;
+                        return Some(die);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Releases one entry on `die`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that die has no occupied entries.
+    pub fn free(&mut self, die: usize) {
+        assert!(self.occupancy[die] > 0, "freeing an empty die {die}");
+        self.occupancy[die] -= 1;
+    }
+
+    /// Which dies a tag broadcast must drive: dies with at least one
+    /// occupied entry. Empty dies are gated (§3.4).
+    pub fn broadcast_dies(&self) -> [bool; 4] {
+        [
+            self.occupancy[0] > 0,
+            self.occupancy[1] > 0,
+            self.occupancy[2] > 0,
+            self.occupancy[3] > 0,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn herding_fills_top_die_first() {
+        let mut s = Scheduler::new(32, AllocPolicy::HerdTopFirst);
+        for _ in 0..8 {
+            assert_eq!(s.alloc(), Some(0));
+        }
+        assert_eq!(s.alloc(), Some(1), "9th allocation overflows to die 1");
+        assert_eq!(s.occupancy(), [8, 1, 0, 0]);
+    }
+
+    #[test]
+    fn herding_reuses_top_die_after_free() {
+        let mut s = Scheduler::new(32, AllocPolicy::HerdTopFirst);
+        for _ in 0..9 {
+            s.alloc();
+        }
+        s.free(0);
+        assert_eq!(s.alloc(), Some(0), "freed top-die entry is preferred");
+    }
+
+    #[test]
+    fn round_robin_scatters() {
+        let mut s = Scheduler::new(32, AllocPolicy::RoundRobin);
+        let dies: Vec<usize> = (0..4).map(|_| s.alloc().unwrap()).collect();
+        assert_eq!(dies, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn full_scheduler_rejects() {
+        let mut s = Scheduler::new(8, AllocPolicy::HerdTopFirst);
+        for _ in 0..8 {
+            assert!(s.alloc().is_some());
+        }
+        assert!(s.is_full());
+        assert_eq!(s.alloc(), None);
+    }
+
+    #[test]
+    fn broadcast_gating_follows_occupancy() {
+        let mut s = Scheduler::new(32, AllocPolicy::HerdTopFirst);
+        assert_eq!(s.broadcast_dies(), [false; 4]);
+        for _ in 0..9 {
+            s.alloc();
+        }
+        assert_eq!(s.broadcast_dies(), [true, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty die")]
+    fn free_empty_die_panics() {
+        let mut s = Scheduler::new(32, AllocPolicy::HerdTopFirst);
+        s.free(2);
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_is_conserved(ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let mut s = Scheduler::new(32, AllocPolicy::HerdTopFirst);
+            let mut live: Vec<usize> = Vec::new();
+            for alloc in ops {
+                if alloc {
+                    if let Some(d) = s.alloc() {
+                        live.push(d);
+                    }
+                } else if let Some(d) = live.pop() {
+                    s.free(d);
+                }
+                prop_assert_eq!(s.occupied(), live.len());
+                prop_assert!(s.occupied() <= 32);
+            }
+        }
+
+        #[test]
+        fn herding_dominates_round_robin_on_top_die(n in 1usize..32) {
+            let mut herd = Scheduler::new(32, AllocPolicy::HerdTopFirst);
+            let mut rr = Scheduler::new(32, AllocPolicy::RoundRobin);
+            for _ in 0..n {
+                herd.alloc();
+                rr.alloc();
+            }
+            prop_assert!(herd.occupancy()[0] >= rr.occupancy()[0]);
+        }
+    }
+}

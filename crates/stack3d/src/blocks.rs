@@ -1,0 +1,140 @@
+//! The processor blocks shared by the delay, power, thermal, and floorplan
+//! models.
+
+use std::fmt;
+
+/// A microarchitectural block of the modelled core (plus the shared L2 and
+/// the clock network).
+///
+/// This is the unit of accounting for everything physical: Table 2
+/// latencies, per-block power, floorplan placement, and thermal maps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Unit {
+    /// L1 instruction cache (32 KB, 8-way).
+    ICache,
+    /// Instruction TLB (128-entry, 4-way).
+    Itlb,
+    /// Branch target buffer (2K-entry, 4-way) plus indirect BTB.
+    Btb,
+    /// Branch direction predictor (10 KB hybrid).
+    Bpred,
+    /// Decode plus the instruction fetch queue.
+    Decode,
+    /// Register rename and dependency-check logic.
+    Rename,
+    /// Reorder buffer (96 entries) including the physical registers.
+    Rob,
+    /// Instruction scheduler / reservation stations (32 entries) —
+    /// the wakeup-select loop lives here.
+    Scheduler,
+    /// Architected/physical register file read/write ports.
+    RegFile,
+    /// Integer execution cluster (ALUs, shifters, multiplier).
+    IntExec,
+    /// Floating-point cluster (add, mul, div/sqrt).
+    FpExec,
+    /// Result bypass network.
+    Bypass,
+    /// Load and store queues (32/20 entries).
+    Lsq,
+    /// L1 data cache (32 KB, 8-way).
+    DCache,
+    /// Data TLB (256-entry, 4-way).
+    Dtlb,
+    /// Unified L2 cache (4 MB, 16-way; shared between the two cores).
+    L2,
+    /// Clock generation and distribution network.
+    Clock,
+}
+
+impl Unit {
+    /// Every modelled unit.
+    pub fn all() -> &'static [Unit] {
+        use Unit::*;
+        &[
+            ICache, Itlb, Btb, Bpred, Decode, Rename, Rob, Scheduler, RegFile, IntExec, FpExec,
+            Bypass, Lsq, DCache, Dtlb, L2, Clock,
+        ]
+    }
+
+    /// Units that exist once per core (everything except the shared L2 and
+    /// the global clock network).
+    pub fn per_core() -> impl Iterator<Item = Unit> {
+        Unit::all().iter().copied().filter(|u| !matches!(u, Unit::L2 | Unit::Clock))
+    }
+
+    /// Short display label used in tables and thermal maps.
+    pub fn label(self) -> &'static str {
+        use Unit::*;
+        match self {
+            ICache => "I-cache",
+            Itlb => "I-TLB",
+            Btb => "BTB",
+            Bpred => "BPred",
+            Decode => "Decode",
+            Rename => "Rename",
+            Rob => "ROB",
+            Scheduler => "Scheduler",
+            RegFile => "RegFile",
+            IntExec => "IntExec",
+            FpExec => "FPExec",
+            Bypass => "Bypass",
+            Lsq => "LSQ",
+            DCache => "D-cache",
+            Dtlb => "D-TLB",
+            L2 => "L2",
+            Clock => "Clock",
+        }
+    }
+
+    /// Whether this unit's datapath is significance-partitioned (16 bits
+    /// per die) in the 3D design, making it a direct Thermal Herding
+    /// target (§3.1–§3.6).
+    pub fn is_width_partitioned(self) -> bool {
+        use Unit::*;
+        matches!(self, RegFile | IntExec | Bypass | Lsq | DCache | Rob)
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_units_have_unique_labels() {
+        let mut seen = std::collections::HashSet::new();
+        for &u in Unit::all() {
+            assert!(seen.insert(u.label()), "duplicate label {}", u.label());
+        }
+    }
+
+    #[test]
+    fn per_core_excludes_shared() {
+        let per_core: Vec<_> = Unit::per_core().collect();
+        assert!(!per_core.contains(&Unit::L2));
+        assert!(!per_core.contains(&Unit::Clock));
+        assert_eq!(per_core.len(), Unit::all().len() - 2);
+    }
+
+    #[test]
+    fn herding_targets_match_paper_sections() {
+        // §3.1 register file, §3.2 arithmetic, §3.3 bypass, §3.5 LSQ,
+        // §3.6 data cache, plus the ROB's physical registers (§5.3).
+        assert!(Unit::RegFile.is_width_partitioned());
+        assert!(Unit::IntExec.is_width_partitioned());
+        assert!(Unit::Bypass.is_width_partitioned());
+        assert!(Unit::Lsq.is_width_partitioned());
+        assert!(Unit::DCache.is_width_partitioned());
+        assert!(Unit::Rob.is_width_partitioned());
+        // Front-end blocks are herded differently (memoization), not
+        // width-partitioned.
+        assert!(!Unit::ICache.is_width_partitioned());
+        assert!(!Unit::Bpred.is_width_partitioned());
+    }
+}

@@ -1,0 +1,323 @@
+//! Block-level floorplans for the planar dual-core die and the folded
+//! 4-die stack (Figure 7).
+//!
+//! The planar floorplan is a best-effort Core 2-class layout: two cores
+//! side by side above a shared 4 MB L2. The 3D floorplan keeps the same
+//! relative layout with every linear dimension halved (the "~4× footprint
+//! reduction due to the partitioned implementation of individual circuit
+//! blocks on four die", §4) and replicates each block's placement on all
+//! four dies — per-die *power* assignment is the power model's job.
+//!
+//! The clock network is modelled as a distributed block covering the whole
+//! die (its power is spread over the full floorplan), so it is exempt from
+//! the overlap check.
+
+use crate::blocks::Unit;
+use crate::DIES;
+
+/// An axis-aligned rectangle in millimetres.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        Rect { x, y, w, h }
+    }
+
+    /// Area in mm².
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Whether two rectangles overlap with positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.x + other.w
+            && other.x < self.x + self.w
+            && self.y < other.y + other.h
+            && other.y < self.y + self.h
+    }
+
+    /// Area of the intersection with `other` (0 if disjoint).
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let w = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let h = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        if w > 0.0 && h > 0.0 {
+            w * h
+        } else {
+            0.0
+        }
+    }
+
+    /// Translates by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect { x: self.x + dx, y: self.y + dy, ..*self }
+    }
+
+    /// Scales all coordinates and dimensions by `s`.
+    pub fn scaled(&self, s: f64) -> Rect {
+        Rect { x: self.x * s, y: self.y * s, w: self.w * s, h: self.h * s }
+    }
+}
+
+/// One placed block instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Placement {
+    /// Which block.
+    pub unit: Unit,
+    /// Which core instance (`None` for shared blocks: L2, clock).
+    pub core: Option<usize>,
+    /// Which die (0 = adjacent to the heat sink).
+    pub die: usize,
+    /// Position on that die.
+    pub rect: Rect,
+}
+
+/// A floorplan: die dimensions plus all block placements.
+#[derive(Clone, Debug)]
+pub struct Floorplan {
+    width_mm: f64,
+    height_mm: f64,
+    dies: usize,
+    placements: Vec<Placement>,
+}
+
+/// Per-core block layout within a `5.5 × 5.6 mm` core tile, expressed in
+/// core-local coordinates.
+fn core_layout() -> Vec<(Unit, Rect)> {
+    use Unit::*;
+    vec![
+        // Front-end row.
+        (ICache, Rect::new(0.0, 0.0, 2.6, 1.6)),
+        (Itlb, Rect::new(2.6, 0.0, 0.8, 1.6)),
+        (Bpred, Rect::new(3.4, 0.0, 1.2, 1.6)),
+        (Btb, Rect::new(4.6, 0.0, 0.9, 1.6)),
+        // Decode / rename / ROB row.
+        (Decode, Rect::new(0.0, 1.6, 2.0, 1.2)),
+        (Rename, Rect::new(2.0, 1.6, 1.4, 1.2)),
+        (Rob, Rect::new(3.4, 1.6, 2.1, 1.2)),
+        // Out-of-order backend row.
+        (Scheduler, Rect::new(0.0, 2.8, 1.3, 1.4)),
+        (RegFile, Rect::new(1.3, 2.8, 1.9, 1.4)),
+        (IntExec, Rect::new(3.2, 2.8, 1.4, 1.4)),
+        (Bypass, Rect::new(4.6, 2.8, 0.9, 1.4)),
+        // Memory / FP row.
+        (FpExec, Rect::new(0.0, 4.2, 1.6, 1.4)),
+        (Lsq, Rect::new(1.6, 4.2, 1.2, 1.4)),
+        (Dtlb, Rect::new(2.8, 4.2, 0.7, 1.4)),
+        (DCache, Rect::new(3.5, 4.2, 2.0, 1.4)),
+    ]
+}
+
+const CORE_W: f64 = 5.5;
+const CORE_H: f64 = 5.6;
+const L2_H: f64 = 6.0;
+
+impl Floorplan {
+    /// The planar dual-core floorplan (Figure 7a): two `5.5 × 5.6 mm`
+    /// cores side by side above an `11 × 6 mm` shared L2.
+    pub fn planar_dual_core() -> Floorplan {
+        let width = 2.0 * CORE_W;
+        let height = CORE_H + L2_H;
+        let mut placements = Vec::new();
+        for core in 0..2 {
+            let dx = core as f64 * CORE_W;
+            for (unit, rect) in core_layout() {
+                placements.push(Placement {
+                    unit,
+                    core: Some(core),
+                    die: 0,
+                    rect: rect.translated(dx, 0.0),
+                });
+            }
+        }
+        placements.push(Placement {
+            unit: Unit::L2,
+            core: None,
+            die: 0,
+            rect: Rect::new(0.0, CORE_H, width, L2_H),
+        });
+        // Distributed clock network: covers the whole die.
+        placements.push(Placement {
+            unit: Unit::Clock,
+            core: None,
+            die: 0,
+            rect: Rect::new(0.0, 0.0, width, height),
+        });
+        Floorplan { width_mm: width, height_mm: height, dies: 1, placements }
+    }
+
+    /// The folded 4-die floorplan (Figure 7b): the planar layout with all
+    /// linear dimensions halved, replicated on every die.
+    pub fn stacked_dual_core() -> Floorplan {
+        let planar = Floorplan::planar_dual_core();
+        let scale = 0.5;
+        let mut placements = Vec::new();
+        for die in 0..DIES {
+            for p in &planar.placements {
+                placements.push(Placement { die, rect: p.rect.scaled(scale), ..*p });
+            }
+        }
+        Floorplan {
+            width_mm: planar.width_mm * scale,
+            height_mm: planar.height_mm * scale,
+            dies: DIES,
+            placements,
+        }
+    }
+
+    /// Die width in millimetres.
+    pub fn width_mm(&self) -> f64 {
+        self.width_mm
+    }
+
+    /// Die height in millimetres.
+    pub fn height_mm(&self) -> f64 {
+        self.height_mm
+    }
+
+    /// Number of dies carrying placements.
+    pub fn dies(&self) -> usize {
+        self.dies
+    }
+
+    /// Die area in mm².
+    pub fn die_area_mm2(&self) -> f64 {
+        self.width_mm * self.height_mm
+    }
+
+    /// All placements.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Placements on one die.
+    pub fn die_placements(&self, die: usize) -> impl Iterator<Item = &Placement> {
+        self.placements.iter().filter(move |p| p.die == die)
+    }
+
+    /// Finds the placement of `unit` for `core` on `die`.
+    pub fn find(&self, unit: Unit, core: Option<usize>, die: usize) -> Option<&Placement> {
+        self.placements.iter().find(|p| p.unit == unit && p.core == core && p.die == die)
+    }
+
+    /// Validates that no two non-distributed blocks on the same die
+    /// overlap and that everything lies within the die outline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for p in &self.placements {
+            if p.rect.x < -1e-9
+                || p.rect.y < -1e-9
+                || p.rect.x + p.rect.w > self.width_mm + 1e-9
+                || p.rect.y + p.rect.h > self.height_mm + 1e-9
+            {
+                return Err(format!("{} (core {:?}, die {}) exceeds the die outline", p.unit, p.core, p.die));
+            }
+        }
+        for die in 0..self.dies {
+            let on_die: Vec<&Placement> =
+                self.die_placements(die).filter(|p| p.unit != Unit::Clock).collect();
+            for (i, a) in on_die.iter().enumerate() {
+                for b in &on_die[i + 1..] {
+                    // Blocks that merely abut can register a sliver of
+                    // overlap from floating-point translation; only a
+                    // positive area counts.
+                    if a.rect.intersection_area(&b.rect) > 1e-9 {
+                        return Err(format!(
+                            "{} (core {:?}) overlaps {} (core {:?}) on die {die}",
+                            a.unit, a.core, b.unit, b.core
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_floorplan_is_valid() {
+        Floorplan::planar_dual_core().validate().unwrap();
+    }
+
+    #[test]
+    fn stacked_floorplan_is_valid() {
+        Floorplan::stacked_dual_core().validate().unwrap();
+    }
+
+    #[test]
+    fn stacked_footprint_is_quarter_of_planar() {
+        let p = Floorplan::planar_dual_core();
+        let s = Floorplan::stacked_dual_core();
+        assert!((s.die_area_mm2() - p.die_area_mm2() / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planar_area_is_core2_class() {
+        // Core 2 (Conroe, 65 nm) was ≈143 mm²; our dual-core + 4MB L2
+        // estimate should be in the same class.
+        let area = Floorplan::planar_dual_core().die_area_mm2();
+        assert!(area > 100.0 && area < 180.0, "die area {area} mm²");
+    }
+
+    #[test]
+    fn every_unit_placed_per_core() {
+        let p = Floorplan::planar_dual_core();
+        for core in 0..2 {
+            for unit in Unit::per_core() {
+                assert!(
+                    p.find(unit, Some(core), 0).is_some(),
+                    "{unit} missing from core {core}"
+                );
+            }
+        }
+        assert!(p.find(Unit::L2, None, 0).is_some());
+        assert!(p.find(Unit::Clock, None, 0).is_some());
+    }
+
+    #[test]
+    fn stacked_replicates_on_all_dies() {
+        let s = Floorplan::stacked_dual_core();
+        for die in 0..DIES {
+            assert!(s.find(Unit::Scheduler, Some(0), die).is_some(), "die {die}");
+            assert!(s.find(Unit::L2, None, die).is_some());
+        }
+    }
+
+    #[test]
+    fn rect_geometry() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!((a.intersection_area(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.intersection_area(&c), 0.0);
+        assert!((a.area() - 4.0).abs() < 1e-12);
+        assert!((a.scaled(0.5).area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caches_are_the_largest_core_blocks() {
+        let p = Floorplan::planar_dual_core();
+        let ic = p.find(Unit::ICache, Some(0), 0).unwrap().rect.area();
+        let sched = p.find(Unit::Scheduler, Some(0), 0).unwrap().rect.area();
+        assert!(ic > sched);
+    }
+}

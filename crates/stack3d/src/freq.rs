@@ -1,0 +1,90 @@
+//! Clock frequency derivation (§5.1.1).
+//!
+//! "Previous work has identified the instruction scheduling logic
+//! (wakeup-select loop) and the arithmetic unit and result bypass loops to
+//! be particularly important in determining a processor's maximum clock
+//! frequency." The 3D clock scales by the *worst* (largest) 3D/2D latency
+//! ratio among those loops: both must still fit in one cycle.
+
+use crate::delay::BlockDelayModel;
+use crate::tech;
+
+/// The clock plan for the planar baseline and the 3D processor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencyPlan {
+    /// Planar baseline frequency, GHz (2.66 per §4).
+    pub base_ghz: f64,
+    /// 3D frequency, GHz.
+    pub three_d_ghz: f64,
+}
+
+impl FrequencyPlan {
+    /// Fractional frequency gain of the 3D design (paper: 0.479).
+    pub fn gain(&self) -> f64 {
+        self.three_d_ghz / self.base_ghz - 1.0
+    }
+
+    /// Cycle time of the baseline, picoseconds.
+    pub fn base_cycle_ps(&self) -> f64 {
+        1_000.0 / self.base_ghz
+    }
+
+    /// Cycle time of the 3D design, picoseconds.
+    pub fn three_d_cycle_ps(&self) -> f64 {
+        1_000.0 / self.three_d_ghz
+    }
+}
+
+/// Derives the 3D clock frequency from the critical loops of the delay
+/// model.
+///
+/// ```
+/// use th_stack3d::{derive_frequency, BlockDelayModel};
+/// let plan = derive_frequency(&BlockDelayModel::new());
+/// assert!((plan.base_ghz - 2.66).abs() < 1e-9);
+/// // The paper reports a 47.9% frequency increase (§5.1.1).
+/// assert!((plan.gain() - 0.479).abs() < 0.02, "gain = {}", plan.gain());
+/// ```
+pub fn derive_frequency(model: &BlockDelayModel) -> FrequencyPlan {
+    let worst_ratio = model
+        .table2()
+        .critical_rows()
+        .map(|r| r.t3d_ps / r.t2d_ps)
+        .fold(0.0f64, f64::max);
+    assert!(worst_ratio > 0.0, "delay model has no critical loops");
+    FrequencyPlan { base_ghz: tech::BASELINE_GHZ, three_d_ghz: tech::BASELINE_GHZ / worst_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_matches_paper() {
+        let plan = derive_frequency(&BlockDelayModel::new());
+        assert!(
+            (plan.gain() - 0.479).abs() < 0.01,
+            "frequency gain {:.3} differs from the paper's 0.479",
+            plan.gain()
+        );
+        // 2.66 GHz -> ≈3.93 GHz.
+        assert!((plan.three_d_ghz - 3.93).abs() < 0.05, "3D clock {:.3} GHz", plan.three_d_ghz);
+    }
+
+    #[test]
+    fn cycle_times_consistent() {
+        let plan = derive_frequency(&BlockDelayModel::new());
+        assert!(plan.three_d_cycle_ps() < plan.base_cycle_ps());
+        assert!((plan.base_cycle_ps() * plan.base_ghz - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limited_by_scheduler_not_bypass() {
+        // The ALU+bypass loop improves more (36% vs 32%), so the
+        // wakeup-select loop must be the frequency limiter.
+        let t2 = BlockDelayModel::new().table2();
+        let sched = t2.row("Scheduler").unwrap();
+        let alu = t2.row("ALU + Bypass").unwrap();
+        assert!(sched.t3d_ps / sched.t2d_ps > alu.t3d_ps / alu.t2d_ps);
+    }
+}

@@ -1,0 +1,43 @@
+//! # 3D die-stack modelling: geometry, circuit delay, and floorplans.
+//!
+//! The paper derived its circuit latencies (Table 2) from HSpice runs of
+//! 65 nm Predictive Technology Model netlists, with Intel 130 nm wire data
+//! extrapolated to 65 nm. HSpice and those netlists are not available, so
+//! this crate substitutes an **analytical delay model**: logic depth in FO4
+//! units plus repeated-wire delay, with 3D folding shortening intra-block
+//! wires and die-to-die (d2d) vias adding a sub-FO4 crossing penalty. The
+//! model reproduces the *relative* 2D→3D latency ratios the paper reports,
+//! which is what the 47.9 % frequency claim rests on.
+//!
+//! Contents:
+//!
+//! * [`tech`] — 65 nm technology constants (FO4, wire RC, d2d vias).
+//! * [`wire`] — distributed-RC and repeated-wire delay formulas.
+//! * [`Unit`] — the processor blocks shared by the delay, power, and
+//!   floorplan models.
+//! * [`BlockDelayModel`] / [`Table2`] — per-block 2D vs 3D latencies and
+//!   the paper's Table 2.
+//! * [`derive_frequency`] — clock frequency from the two critical loops
+//!   (wakeup-select and ALU+bypass, §5.1.1).
+//! * [`DieStack`] — the physical layer stack consumed by `th-thermal`.
+//! * [`Floorplan`] — block placements for the planar dual-core die and the
+//!   folded 4-die stack.
+
+#![deny(missing_docs)]
+
+mod blocks;
+mod delay;
+mod floorplan;
+mod freq;
+mod stack;
+pub mod tech;
+pub mod wire;
+
+pub use blocks::Unit;
+pub use delay::{BlockDelay, BlockDelayModel, BlockDelaySpec, Table2, Table2Row};
+pub use floorplan::{Floorplan, Placement, Rect};
+pub use freq::{derive_frequency, FrequencyPlan};
+pub use stack::{BondStyle, DieStack, LayerKind, LayerSpec};
+
+/// Number of dies in the evaluated stack.
+pub const DIES: usize = 4;

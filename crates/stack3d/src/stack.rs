@@ -1,0 +1,209 @@
+//! Physical die-stack description consumed by the thermal model.
+//!
+//! The evaluated processor is a 4-die stack (§2.2) bonded
+//! face-to-face / back-to-back (Figure 1), thinned to ≈10 µm per inner die,
+//! with the heat sink above die 0 and a phase-change metallic-alloy TIM
+//! between the stack and the heat spreader (§4).
+
+use std::fmt;
+
+/// How two adjacent dies are bonded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BondStyle {
+    /// Face-to-face: top-metal to top-metal, ≈5 µm crossing, 1 µm via pitch.
+    FaceToFace,
+    /// Back-to-back: through thinned bulk silicon, ≈20 µm crossing,
+    /// 2 µm via pitch.
+    BackToBack,
+}
+
+/// The material role of one layer in the vertical stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Bulk silicon of a die.
+    Silicon,
+    /// Active device layer of a die (where power is dissipated); the
+    /// payload is the die index, 0 = closest to the heat sink.
+    Active(usize),
+    /// d2d bond interface: 25 % copper / 75 % air composite (§4).
+    BondInterface,
+    /// Thermal interface material (phase-change metallic alloy, §4).
+    Tim,
+    /// Copper heat spreader.
+    Spreader,
+}
+
+/// One layer of the vertical stack, ordered from the heat sink downward.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerSpec {
+    /// What the layer is made of / used for.
+    pub kind: LayerKind,
+    /// Layer thickness in micrometres.
+    pub thickness_um: f64,
+}
+
+/// A vertical die stack: the ordered list of physical layers between the
+/// heat sink and the bottom of the package.
+///
+/// ```
+/// use th_stack3d::DieStack;
+/// let stack = DieStack::four_die();
+/// assert_eq!(stack.die_count(), 4);
+/// // Die 0's active layer sits above die 3's.
+/// assert!(stack.active_depth_um(0) < stack.active_depth_um(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DieStack {
+    layers: Vec<LayerSpec>,
+    die_count: usize,
+}
+
+impl DieStack {
+    /// The paper's 4-die stack: from the heat sink downward —
+    /// spreader, TIM, then (die 0 bulk, die 0 active), F2F interface,
+    /// (die 1 active, die 1 thinned bulk), B2B interface,
+    /// (die 2 thinned bulk, die 2 active), F2F interface,
+    /// (die 3 active, die 3 bulk carrier).
+    pub fn four_die() -> DieStack {
+        use LayerKind::*;
+        let layers = vec![
+            LayerSpec { kind: Spreader, thickness_um: 1_000.0 },
+            LayerSpec { kind: Tim, thickness_um: 50.0 },
+            LayerSpec { kind: Silicon, thickness_um: 100.0 }, // die 0 bulk
+            LayerSpec { kind: Active(0), thickness_um: 2.0 },
+            LayerSpec { kind: BondInterface, thickness_um: 5.0 }, // F2F
+            LayerSpec { kind: Active(1), thickness_um: 2.0 },
+            LayerSpec { kind: Silicon, thickness_um: 10.0 }, // die 1 thinned
+            LayerSpec { kind: BondInterface, thickness_um: 20.0 }, // B2B
+            LayerSpec { kind: Silicon, thickness_um: 10.0 }, // die 2 thinned
+            LayerSpec { kind: Active(2), thickness_um: 2.0 },
+            LayerSpec { kind: BondInterface, thickness_um: 5.0 }, // F2F
+            LayerSpec { kind: Active(3), thickness_um: 2.0 },
+            LayerSpec { kind: Silicon, thickness_um: 50.0 }, // die 3 carrier
+        ];
+        DieStack { layers, die_count: 4 }
+    }
+
+    /// A planar (single-die) stack for the 2D baseline.
+    pub fn planar() -> DieStack {
+        use LayerKind::*;
+        let layers = vec![
+            LayerSpec { kind: Spreader, thickness_um: 1_000.0 },
+            LayerSpec { kind: Tim, thickness_um: 50.0 },
+            LayerSpec { kind: Silicon, thickness_um: 300.0 },
+            LayerSpec { kind: Active(0), thickness_um: 2.0 },
+            LayerSpec { kind: Silicon, thickness_um: 50.0 },
+        ];
+        DieStack { layers, die_count: 1 }
+    }
+
+    /// Layers ordered from the heat sink downward.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Number of active dies.
+    pub fn die_count(&self) -> usize {
+        self.die_count
+    }
+
+    /// Depth (µm below the TIM top surface) of die `die`'s active layer
+    /// midpoint. Smaller depth ⇒ closer to the heat sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die >= die_count`.
+    pub fn active_depth_um(&self, die: usize) -> f64 {
+        assert!(die < self.die_count, "die {die} out of range");
+        let mut depth = 0.0;
+        for layer in &self.layers {
+            if let LayerKind::Active(d) = layer.kind {
+                if d == die {
+                    return depth + layer.thickness_um / 2.0;
+                }
+            }
+            depth += layer.thickness_um;
+        }
+        unreachable!("active layer for die {die} missing from stack");
+    }
+
+    /// Total stack thickness in micrometres.
+    pub fn total_thickness_um(&self) -> f64 {
+        self.layers.iter().map(|l| l.thickness_um).sum()
+    }
+}
+
+impl fmt::Display for DieStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}-die stack ({:.0} um total):", self.die_count, self.total_thickness_um())?;
+        for layer in &self.layers {
+            writeln!(f, "  {:>8.1} um  {:?}", layer.thickness_um, layer.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_die_has_all_actives_in_order() {
+        let s = DieStack::four_die();
+        assert_eq!(s.die_count(), 4);
+        let depths: Vec<f64> = (0..4).map(|d| s.active_depth_um(d)).collect();
+        for pair in depths.windows(2) {
+            assert!(pair[0] < pair[1], "dies out of depth order: {depths:?}");
+        }
+    }
+
+    #[test]
+    fn inner_dies_are_thinned() {
+        // §2.1: dies are thinned to ≈10 µm; §4 models 12 µm as current
+        // practice. Our inner bulk layers use 10 µm.
+        let s = DieStack::four_die();
+        let thin_layers: Vec<_> = s
+            .layers()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Silicon && l.thickness_um <= 10.0)
+            .collect();
+        assert_eq!(thin_layers.len(), 2);
+    }
+
+    #[test]
+    fn planar_stack_is_single_die() {
+        let s = DieStack::planar();
+        assert_eq!(s.die_count(), 1);
+        assert!(s.active_depth_um(0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_die_index_panics() {
+        let _ = DieStack::planar().active_depth_um(1);
+    }
+
+    #[test]
+    fn bond_interfaces_alternate_f2f_b2b() {
+        let s = DieStack::four_die();
+        let bonds: Vec<f64> = s
+            .layers()
+            .iter()
+            .filter(|l| l.kind == LayerKind::BondInterface)
+            .map(|l| l.thickness_um)
+            .collect();
+        assert_eq!(bonds, vec![5.0, 20.0, 5.0]); // F2F, B2B, F2F (§4)
+    }
+
+    #[test]
+    fn stack_is_thinner_than_a_millimetre_excluding_spreader() {
+        let s = DieStack::four_die();
+        let without_spreader: f64 = s
+            .layers()
+            .iter()
+            .filter(|l| l.kind != LayerKind::Spreader)
+            .map(|l| l.thickness_um)
+            .sum();
+        assert!(without_spreader < 1_000.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! 65 nm technology constants.
+//!
+//! Values are representative of published 65 nm data (ITRS 2005 and Intel
+//! process disclosures) rather than extracted from a proprietary kit; only
+//! the *relative* 2D/3D behaviour matters for the reproduced experiments.
+
+/// Delay of one fanout-of-4 inverter at 65 nm, in picoseconds.
+///
+/// The common rule of thumb is FO4 ≈ 0.36–0.5 ps per nm of drawn gate
+/// length; 25 ps at 65 nm sits in the published range and makes the
+/// 2.66 GHz baseline cycle ≈ 15 FO4, matching contemporary
+/// high-performance pipelines.
+pub const FO4_PS: f64 = 25.0;
+
+/// Delay per millimetre of optimally repeated intermediate-layer wire, in
+/// picoseconds (≈ 55–65 ps/mm is typical for 65 nm copper interconnect).
+pub const REPEATED_WIRE_PS_PER_MM: f64 = 60.0;
+
+/// Resistance of intermediate-layer wire, ohms per millimetre.
+pub const WIRE_R_OHM_PER_MM: f64 = 1_250.0;
+
+/// Capacitance of intermediate-layer wire, picofarads per millimetre.
+pub const WIRE_C_PF_PER_MM: f64 = 0.20;
+
+/// Delay to cross one die-to-die interface, in picoseconds.
+///
+/// Prior work (cited in §2.1) reports the d2d via delay as "less than one
+/// FO4". The via itself is only 5–20 µm of metal, so its RC is negligible;
+/// the 0.2 FO4 charged here covers the landing pad load on a
+/// minimally-loaded face-to-face connection.
+pub const D2D_VIA_PS: f64 = FO4_PS * 0.2;
+
+/// Face-to-face d2d via pitch, micrometres (§4).
+pub const F2F_VIA_PITCH_UM: f64 = 1.0;
+
+/// Backside (through-silicon) via pitch, micrometres (§4).
+pub const BACKSIDE_VIA_PITCH_UM: f64 = 2.0;
+
+/// Distance crossed between two die faces, micrometres (§4).
+pub const F2F_CROSSING_UM: f64 = 5.0;
+
+/// Distance crossed at a back-to-back interface, micrometres (§4).
+pub const B2B_CROSSING_UM: f64 = 20.0;
+
+/// Fraction of a d2d interface layer occupied by copper via material when
+/// fully populated at half-pitch via width (§4: "25 % copper occupancy
+/// (75 % air)").
+pub const D2D_COPPER_FRACTION: f64 = 0.25;
+
+/// Baseline planar clock frequency, GHz (§4).
+pub const BASELINE_GHZ: f64 = 2.66;
+
+/// Baseline cycle time in picoseconds.
+pub fn baseline_cycle_ps() -> f64 {
+    1_000.0 / BASELINE_GHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_cycle_matches_frequency() {
+        assert!((baseline_cycle_ps() - 375.94).abs() < 0.01);
+    }
+
+    #[test]
+    fn cycle_is_a_realistic_fo4_count() {
+        let fo4s = baseline_cycle_ps() / FO4_PS;
+        assert!(fo4s > 12.0 && fo4s < 20.0, "cycle = {fo4s} FO4");
+    }
+
+    #[test]
+    fn via_is_sub_fo4() {
+        assert!(D2D_VIA_PS < FO4_PS);
+    }
+}

@@ -1,0 +1,91 @@
+//! Wire delay formulas.
+//!
+//! Two regimes matter for the block model:
+//!
+//! * **Unrepeated** wires follow the distributed-RC (Elmore) quadratic:
+//!   `t = 0.377 · r · c · L²`. Used for short intra-block segments.
+//! * **Repeated** wires (with optimally inserted buffers) are linear in
+//!   length. Long broadcast buses and bypass wires are always repeated in
+//!   high-performance designs, so the block model charges
+//!   [`repeated_delay_ps`] for them.
+
+use crate::tech;
+
+/// Distributed-RC delay of an unrepeated wire of `mm` millimetres, in ps.
+///
+/// ```
+/// use th_stack3d::wire::unrepeated_delay_ps;
+/// // Quadratic: doubling length quadruples delay.
+/// let d1 = unrepeated_delay_ps(1.0);
+/// let d2 = unrepeated_delay_ps(2.0);
+/// assert!((d2 / d1 - 4.0).abs() < 1e-9);
+/// ```
+pub fn unrepeated_delay_ps(mm: f64) -> f64 {
+    0.377 * tech::WIRE_R_OHM_PER_MM * tech::WIRE_C_PF_PER_MM * mm * mm
+}
+
+/// Delay of an optimally repeated wire of `mm` millimetres, in ps (linear).
+pub fn repeated_delay_ps(mm: f64) -> f64 {
+    tech::REPEATED_WIRE_PS_PER_MM * mm
+}
+
+/// Energy of driving a wire of `mm` millimetres once, in picojoules,
+/// assuming full-swing switching at `vdd` volts.
+///
+/// `E = C · V²` (the ½ appears twice per cycle for charge and discharge;
+/// activity factors are applied by the power model).
+pub fn wire_energy_pj(mm: f64, vdd: f64) -> f64 {
+    tech::WIRE_C_PF_PER_MM * mm * vdd * vdd
+}
+
+/// Crossover length below which an unrepeated wire is faster than a
+/// repeated one (repeater insertion only pays off for long wires).
+pub fn repeater_crossover_mm() -> f64 {
+    // Solve 0.377·r·c·L² = k·L  =>  L = k / (0.377·r·c)
+    tech::REPEATED_WIRE_PS_PER_MM / (0.377 * tech::WIRE_R_OHM_PER_MM * tech::WIRE_C_PF_PER_MM)
+}
+
+/// Best achievable delay for a wire of `mm` millimetres: unrepeated when
+/// short, repeated when long.
+pub fn best_delay_ps(mm: f64) -> f64 {
+    unrepeated_delay_ps(mm).min(repeated_delay_ps(mm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn repeated_is_linear() {
+        assert!((repeated_delay_ps(2.0) - 2.0 * repeated_delay_ps(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_is_sub_millimetre() {
+        let x = repeater_crossover_mm();
+        assert!(x > 0.1 && x < 1.5, "crossover = {x} mm");
+    }
+
+    #[test]
+    fn energy_scales_with_vdd_squared() {
+        let e1 = wire_energy_pj(1.0, 1.0);
+        let e2 = wire_energy_pj(1.0, 1.2);
+        assert!((e2 / e1 - 1.44).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn best_delay_picks_minimum(mm in 0.01f64..20.0) {
+            let b = best_delay_ps(mm);
+            prop_assert!(b <= unrepeated_delay_ps(mm) + 1e-12);
+            prop_assert!(b <= repeated_delay_ps(mm) + 1e-12);
+        }
+
+        #[test]
+        fn delays_monotonic_in_length(a in 0.01f64..10.0, b in 0.01f64..10.0) {
+            prop_assume!(a < b);
+            prop_assert!(best_delay_ps(a) <= best_delay_ps(b));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Material thermal properties.
+
+/// Thermal properties of one layer material.
+///
+/// Conductivity is anisotropic because the d2d bond interface conducts
+/// heat well *vertically* (through the copper via array) but poorly
+/// *laterally* (vias are discrete posts surrounded by air/underfill).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Material {
+    /// Display name.
+    pub name: &'static str,
+    /// Vertical (through-plane) conductivity, W/(m·K).
+    pub k_vertical: f64,
+    /// Lateral (in-plane) conductivity, W/(m·K).
+    pub k_lateral: f64,
+    /// Volumetric heat capacity, J/(m³·K).
+    pub heat_capacity: f64,
+}
+
+impl Material {
+    /// Isotropic constructor.
+    pub const fn isotropic(name: &'static str, k: f64, heat_capacity: f64) -> Material {
+        Material { name, k_vertical: k, k_lateral: k, heat_capacity }
+    }
+
+    /// Bulk silicon near operating temperature (~350 K).
+    pub const SILICON: Material = Material::isotropic("silicon", 120.0, 1.75e6);
+
+    /// Copper (heat spreader).
+    pub const COPPER: Material = Material::isotropic("copper", 385.0, 3.40e6);
+
+    /// Phase-change metallic alloy TIM (§4). Bulk alloys conduct tens of
+    /// W/(m·K), but the effective conductivity of a real bond line —
+    /// alloy plus contact resistance at both faces — is far lower; 8
+    /// W/(m·K) over the 50 µm line is a standard effective value.
+    pub const TIM_ALLOY: Material = Material::isotropic("tim-alloy", 7.5, 1.50e6);
+
+    /// The d2d bond interface (§4: 1–2 µm via pitch, half-pitch via
+    /// width ⇒ 25 % copper / 75 % air). The area-weighted parallel rule
+    /// gives ≈96 W/(m·K) for a fully-populated via array, but signal vias
+    /// only populate routing channels; over active blocks the effective
+    /// vertical conductivity is far lower. We use 40 W/(m·K) vertical;
+    /// lateral conduction is dominated by the non-metal fill.
+    pub const BOND_INTERFACE: Material = Material {
+        name: "d2d-bond",
+        k_vertical: 40.0,
+        k_lateral: 1.0,
+        // 0.25 · 3.40e6 + 0.75 · 1.2e3 (air) ≈ 8.5e5
+        heat_capacity: 8.5e5,
+    };
+
+    /// Effective vertical conductance per unit area of a slab of this
+    /// material with thickness `t_m` metres, W/(m²·K).
+    pub fn vertical_conductance_per_area(&self, t_m: f64) -> f64 {
+        self.k_vertical / t_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bond_interface_is_below_the_fully_populated_bound() {
+        // The parallel rule for a fully-populated 25%-copper via array is
+        // the upper bound on the interface's vertical conductivity.
+        let bound = 0.25 * Material::COPPER.k_vertical + 0.75 * 0.026;
+        assert!(Material::BOND_INTERFACE.k_vertical < bound);
+        assert!(Material::BOND_INTERFACE.k_vertical > 5.0);
+    }
+
+    #[test]
+    fn bond_interface_is_strongly_anisotropic() {
+        let m = Material::BOND_INTERFACE;
+        assert!(m.k_vertical / m.k_lateral > 10.0);
+    }
+
+    #[test]
+    fn copper_conducts_better_than_silicon() {
+        assert!(Material::COPPER.k_vertical > Material::SILICON.k_vertical);
+        assert!(Material::SILICON.k_vertical > Material::TIM_ALLOY.k_vertical);
+    }
+
+    #[test]
+    fn conductance_scales_inversely_with_thickness() {
+        let thin = Material::SILICON.vertical_conductance_per_area(10e-6);
+        let thick = Material::SILICON.vertical_conductance_per_area(100e-6);
+        assert!((thin / thick - 10.0).abs() < 1e-9);
+    }
+}

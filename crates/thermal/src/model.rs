@@ -1,0 +1,175 @@
+//! The vertical stack model: layers plus heat-sink boundary condition.
+
+use crate::materials::Material;
+
+/// One layer of the thermal stack, ordered from the heat sink downward.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelLayer {
+    /// Thickness in metres.
+    pub thickness_m: f64,
+    /// Material of the layer.
+    pub material: Material,
+    /// If this is an active (power-dissipating) layer, the index of the
+    /// power grid that feeds it (die index for processor stacks).
+    pub power_index: Option<usize>,
+}
+
+impl ModelLayer {
+    /// A passive layer.
+    pub fn passive(thickness_m: f64, material: Material) -> ModelLayer {
+        ModelLayer { thickness_m, material, power_index: None }
+    }
+
+    /// An active layer fed by power grid `index`.
+    pub fn active(thickness_m: f64, material: Material, index: usize) -> ModelLayer {
+        ModelLayer { thickness_m, material, power_index: Some(index) }
+    }
+}
+
+/// The package boundary above the stack: a convection resistance from the
+/// top layer to ambient air.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeatSink {
+    /// Total sink-to-ambient thermal resistance, K/W. Typical
+    /// high-performance air coolers are 0.1–0.3 K/W.
+    pub resistance_k_per_w: f64,
+    /// Ambient temperature, kelvin.
+    pub ambient_k: f64,
+}
+
+impl Default for HeatSink {
+    fn default() -> HeatSink {
+        HeatSink { resistance_k_per_w: 0.25, ambient_k: crate::AMBIENT_K }
+    }
+}
+
+/// A complete thermal model of a die stack: lateral extent, vertical
+/// layers, and the heat-sink boundary.
+///
+/// ```
+/// use th_thermal::{Material, ModelLayer, StackModel};
+/// let model = StackModel::new(
+///     0.011, 0.0116, // 11 x 11.6 mm die
+///     vec![
+///         ModelLayer::passive(1.0e-3, Material::COPPER),   // spreader
+///         ModelLayer::passive(50e-6, Material::TIM_ALLOY), // TIM
+///         ModelLayer::passive(300e-6, Material::SILICON),  // bulk
+///         ModelLayer::active(2e-6, Material::SILICON, 0),  // devices
+///     ],
+///     Default::default(),
+/// );
+/// assert_eq!(model.power_layer_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StackModel {
+    width_m: f64,
+    height_m: f64,
+    layers: Vec<ModelLayer>,
+    sink: HeatSink,
+}
+
+impl StackModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are non-positive, `layers` is empty, or the
+    /// power-grid indices are not dense `0..n`.
+    pub fn new(width_m: f64, height_m: f64, layers: Vec<ModelLayer>, sink: HeatSink) -> StackModel {
+        assert!(width_m > 0.0 && height_m > 0.0, "die dimensions must be positive");
+        assert!(!layers.is_empty(), "stack needs at least one layer");
+        let mut indices: Vec<usize> = layers.iter().filter_map(|l| l.power_index).collect();
+        indices.sort_unstable();
+        for (expect, got) in indices.iter().enumerate() {
+            assert_eq!(expect, *got, "power indices must be dense 0..n");
+        }
+        StackModel { width_m, height_m, layers, sink }
+    }
+
+    /// Lateral width (x extent), metres.
+    pub fn width_m(&self) -> f64 {
+        self.width_m
+    }
+
+    /// Lateral height (y extent), metres.
+    pub fn height_m(&self) -> f64 {
+        self.height_m
+    }
+
+    /// The layer stack, heat sink first.
+    pub fn layers(&self) -> &[ModelLayer] {
+        &self.layers
+    }
+
+    /// The heat-sink boundary.
+    pub fn sink(&self) -> &HeatSink {
+        &self.sink
+    }
+
+    /// Number of distinct power grids the model expects.
+    pub fn power_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.power_index.is_some()).count()
+    }
+
+    /// Index (within [`StackModel::layers`]) of the layer fed by power
+    /// grid `power_index`.
+    pub fn layer_of_power_index(&self, power_index: usize) -> Option<usize> {
+        self.layers.iter().position(|l| l.power_index == Some(power_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> StackModel {
+        StackModel::new(
+            0.01,
+            0.01,
+            vec![
+                ModelLayer::passive(1e-3, Material::COPPER),
+                ModelLayer::active(2e-6, Material::SILICON, 0),
+            ],
+            HeatSink::default(),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let m = simple();
+        assert_eq!(m.layers().len(), 2);
+        assert_eq!(m.power_layer_count(), 1);
+        assert_eq!(m.layer_of_power_index(0), Some(1));
+        assert_eq!(m.layer_of_power_index(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_power_indices_rejected() {
+        StackModel::new(
+            0.01,
+            0.01,
+            vec![ModelLayer::active(2e-6, Material::SILICON, 1)],
+            HeatSink::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        StackModel::new(0.0, 0.01, vec![ModelLayer::passive(1e-3, Material::COPPER)], HeatSink::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_layers_rejected() {
+        StackModel::new(0.01, 0.01, vec![], HeatSink::default());
+    }
+
+    #[test]
+    fn default_sink_is_air_cooler_class() {
+        let s = HeatSink::default();
+        assert!(s.resistance_k_per_w > 0.05 && s.resistance_k_per_w < 0.5);
+        assert!((s.ambient_k - 318.15).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Rasterised power maps.
+
+/// A power map over one active layer: a `rows × cols` grid of watts.
+///
+/// Floorplan rectangles are painted onto the grid; each cell accumulates
+/// the fraction of a block's power proportional to the overlap area, so
+/// blocks that straddle cell boundaries are handled exactly.
+///
+/// ```
+/// use th_thermal::PowerGrid;
+/// let mut g = PowerGrid::new(4, 4, 0.004, 0.004); // 4x4 cells over 4x4 mm
+/// g.paint_rect(0.0, 0.0, 0.002, 0.002, 8.0); // 8 W over the top-left quadrant
+/// assert!((g.total_watts() - 8.0).abs() < 1e-9);
+/// assert!((g.cell(0, 0) - 2.0).abs() < 1e-9);  // 4 cells share it equally
+/// assert_eq!(g.cell(3, 3), 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerGrid {
+    rows: usize,
+    cols: usize,
+    width_m: f64,
+    height_m: f64,
+    cells: Vec<f64>,
+}
+
+impl PowerGrid {
+    /// Creates an all-zero power grid covering `width_m × height_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero/non-positive.
+    pub fn new(rows: usize, cols: usize, width_m: f64, height_m: f64) -> PowerGrid {
+        assert!(rows > 0 && cols > 0, "grid must have cells");
+        assert!(width_m > 0.0 && height_m > 0.0, "extent must be positive");
+        PowerGrid { rows, cols, width_m, height_m, cells: vec![0.0; rows * cols] }
+    }
+
+    /// Grid rows (y direction).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns (x direction).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Lateral extent, metres.
+    pub fn extent_m(&self) -> (f64, f64) {
+        (self.width_m, self.height_m)
+    }
+
+    /// Power of cell `(row, col)`, watts.
+    pub fn cell(&self, row: usize, col: usize) -> f64 {
+        self.cells[row * self.cols + col]
+    }
+
+    /// All cells, row-major.
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+
+    /// Total painted power, watts.
+    pub fn total_watts(&self) -> f64 {
+        self.cells.iter().sum()
+    }
+
+    /// Distributes `watts` uniformly over the rectangle
+    /// `[x0, x1) × [y0, y1)` in metres. The power *density* is set by the
+    /// full rectangle; any part hanging outside the grid extent is clipped
+    /// (its share of the power is lost). Zero-area rectangles paint
+    /// nothing.
+    pub fn paint_rect(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, watts: f64) {
+        let area = (x1 - x0) * (y1 - y0);
+        if area <= 0.0 || watts == 0.0 {
+            return;
+        }
+        let density = watts / area; // W/m²
+        let x0 = x0.clamp(0.0, self.width_m);
+        let x1 = x1.clamp(0.0, self.width_m);
+        let y0 = y0.clamp(0.0, self.height_m);
+        let y1 = y1.clamp(0.0, self.height_m);
+        if x1 <= x0 || y1 <= y0 {
+            return;
+        }
+        let dx = self.width_m / self.cols as f64;
+        let dy = self.height_m / self.rows as f64;
+        let c0 = (x0 / dx).floor() as usize;
+        let c1 = ((x1 / dx).ceil() as usize).min(self.cols);
+        let r0 = (y0 / dy).floor() as usize;
+        let r1 = ((y1 / dy).ceil() as usize).min(self.rows);
+        for r in r0..r1 {
+            let cy0 = r as f64 * dy;
+            let oy = (y1.min(cy0 + dy) - y0.max(cy0)).max(0.0);
+            for c in c0..c1 {
+                let cx0 = c as f64 * dx;
+                let ox = (x1.min(cx0 + dx) - x0.max(cx0)).max(0.0);
+                self.cells[r * self.cols + c] += density * ox * oy;
+            }
+        }
+    }
+
+    /// Adds another grid cell-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add(&mut self, other: &PowerGrid) {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a += b;
+        }
+    }
+
+    /// Scales all cells by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for c in &mut self.cells {
+            *c *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paint_conserves_power() {
+        let mut g = PowerGrid::new(7, 5, 0.011, 0.0116);
+        g.paint_rect(0.001, 0.002, 0.0043, 0.0091, 12.5);
+        assert!((g.total_watts() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paint_outside_is_clamped() {
+        let mut g = PowerGrid::new(4, 4, 0.004, 0.004);
+        // Half the rectangle hangs off the right edge; the painted power is
+        // the density times the clamped area.
+        g.paint_rect(0.002, 0.0, 0.006, 0.004, 8.0);
+        assert!((g.total_watts() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_area_paints_nothing() {
+        let mut g = PowerGrid::new(4, 4, 0.004, 0.004);
+        g.paint_rect(0.001, 0.001, 0.001, 0.003, 5.0);
+        assert_eq!(g.total_watts(), 0.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = PowerGrid::new(2, 2, 1.0, 1.0);
+        a.paint_rect(0.0, 0.0, 1.0, 1.0, 4.0);
+        let mut b = a.clone();
+        b.scale(0.5);
+        a.add(&b);
+        assert!((a.total_watts() - 6.0).abs() < 1e-9);
+        assert!((a.cell(0, 0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn add_requires_same_shape() {
+        let mut a = PowerGrid::new(2, 2, 1.0, 1.0);
+        let b = PowerGrid::new(3, 2, 1.0, 1.0);
+        a.add(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn conservation_under_random_rects(
+            x0 in 0.0f64..0.01, w in 0.0f64..0.01,
+            y0 in 0.0f64..0.01, h in 0.0f64..0.01,
+            watts in 0.0f64..100.0,
+        ) {
+            let mut g = PowerGrid::new(16, 16, 0.01, 0.01);
+            let x1 = (x0 + w).min(0.01);
+            let y1 = (y0 + h).min(0.01);
+            g.paint_rect(x0, y0, x1, y1, watts);
+            let expected = if (x1 - x0) * (y1 - y0) > 0.0 { watts } else { 0.0 };
+            prop_assert!((g.total_watts() - expected).abs() < 1e-6 * (1.0 + expected));
+        }
+
+        #[test]
+        fn cells_never_negative(rects in proptest::collection::vec(
+            (0.0f64..0.01, 0.0f64..0.01, 0.0f64..0.01, 0.0f64..0.01, 0.0f64..50.0), 0..20)) {
+            let mut g = PowerGrid::new(8, 8, 0.01, 0.01);
+            for (x0, y0, w, h, p) in rects {
+                g.paint_rect(x0, y0, x0 + w, y0 + h, p);
+            }
+            for &c in g.cells() {
+                prop_assert!(c >= 0.0);
+            }
+        }
+    }
+}

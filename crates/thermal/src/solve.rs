@@ -1,0 +1,540 @@
+//! Steady-state and transient solvers for the RC network.
+//!
+//! The governing equation per cell is Kirchhoff's current law for heat:
+//!
+//! ```text
+//! Σ_n G_n (T_n - T) + G_amb (T_amb - T) + P = C dT/dt
+//! ```
+//!
+//! Steady state (`dT/dt = 0`) is solved with red-black successive
+//! over-relaxation; the transient uses implicit (backward) Euler, which is
+//! unconditionally stable even with the µm-thin d2d layers' tiny time
+//! constants, re-using the same relaxation kernel per step.
+
+use crate::map::ThermalMap;
+use crate::model::StackModel;
+use crate::power::PowerGrid;
+use std::fmt;
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveOptions {
+    /// Maximum relaxation sweeps.
+    pub max_iters: usize,
+    /// Convergence threshold: maximum per-cell temperature change per
+    /// sweep, kelvin.
+    pub tolerance_k: f64,
+    /// SOR over-relaxation factor (1.0 = Gauss-Seidel).
+    pub omega: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> SolveOptions {
+        SolveOptions { max_iters: 20_000, tolerance_k: 1e-6, omega: 1.85 }
+    }
+}
+
+/// Error returned when a solve fails.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The relaxation did not reach tolerance within `max_iters` sweeps;
+    /// the payload is the final residual (kelvin).
+    NotConverged(f64),
+    /// A power grid's shape does not match the solver grid.
+    PowerGridMismatch {
+        /// Expected (rows, cols).
+        expected: (usize, usize),
+        /// Provided (rows, cols).
+        got: (usize, usize),
+    },
+    /// The number of power grids does not match the model's active layers.
+    PowerLayerCount {
+        /// Active layers in the model.
+        expected: usize,
+        /// Grids provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotConverged(r) => write!(f, "solver did not converge (residual {r:.2e} K)"),
+            SolveError::PowerGridMismatch { expected, got } => {
+                write!(f, "power grid is {got:?}, solver grid is {expected:?}")
+            }
+            SolveError::PowerLayerCount { expected, got } => {
+                write!(f, "model has {expected} active layers but {got} power grids were given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The assembled conductance network for a [`StackModel`] at a fixed grid
+/// resolution.
+#[derive(Clone, Debug)]
+pub struct SteadySolver {
+    model: StackModel,
+    rows: usize,
+    cols: usize,
+    /// Lateral conductance to the east neighbour, per layer.
+    gx: Vec<f64>,
+    /// Lateral conductance to the south neighbour, per layer.
+    gy: Vec<f64>,
+    /// Vertical conductance between layer `l` and `l+1`, per cell.
+    gz: Vec<f64>,
+    /// Conductance from each top-layer cell to ambient.
+    g_amb: f64,
+    /// Heat capacity per cell, per layer (J/K).
+    cap: Vec<f64>,
+}
+
+impl SteadySolver {
+    /// Assembles the network at `rows × cols` lateral resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(model: StackModel, rows: usize, cols: usize) -> SteadySolver {
+        assert!(rows > 0 && cols > 0, "grid must have cells");
+        let dx = model.width_m() / cols as f64;
+        let dy = model.height_m() / rows as f64;
+        let area = dx * dy;
+        let layers = model.layers();
+        let gx: Vec<f64> =
+            layers.iter().map(|l| l.material.k_lateral * l.thickness_m * dy / dx).collect();
+        let gy: Vec<f64> =
+            layers.iter().map(|l| l.material.k_lateral * l.thickness_m * dx / dy).collect();
+        let gz: Vec<f64> = layers
+            .windows(2)
+            .map(|w| {
+                let r = w[0].thickness_m / (2.0 * w[0].material.k_vertical)
+                    + w[1].thickness_m / (2.0 * w[1].material.k_vertical);
+                area / r
+            })
+            .collect();
+        let cap: Vec<f64> =
+            layers.iter().map(|l| l.material.heat_capacity * l.thickness_m * area).collect();
+        let g_amb = 1.0 / (model.sink().resistance_k_per_w * (rows * cols) as f64);
+        SteadySolver { model, rows, cols, gx, gy, gz, g_amb, cap }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &StackModel {
+        &self.model
+    }
+
+    /// Grid resolution `(rows, cols)`.
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn idx(&self, layer: usize, row: usize, col: usize) -> usize {
+        (layer * self.rows + row) * self.cols + col
+    }
+
+    /// Builds the per-cell power vector from the per-die power grids.
+    fn assemble_power(&self, power: &[PowerGrid]) -> Result<Vec<f64>, SolveError> {
+        if power.len() != self.model.power_layer_count() {
+            return Err(SolveError::PowerLayerCount {
+                expected: self.model.power_layer_count(),
+                got: power.len(),
+            });
+        }
+        let n_layers = self.model.layers().len();
+        let mut p = vec![0.0; n_layers * self.rows * self.cols];
+        for (power_index, grid) in power.iter().enumerate() {
+            if grid.rows() != self.rows || grid.cols() != self.cols {
+                return Err(SolveError::PowerGridMismatch {
+                    expected: (self.rows, self.cols),
+                    got: (grid.rows(), grid.cols()),
+                });
+            }
+            let layer = self
+                .model
+                .layer_of_power_index(power_index)
+                .expect("power index validated by StackModel");
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    p[self.idx(layer, r, c)] = grid.cell(r, c);
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// One SOR sweep; returns the maximum temperature change.
+    ///
+    /// `inv_dt_cap[i]` adds an implicit-Euler `C/dt` self-term anchored at
+    /// `t_old[i]` (empty slices for steady state).
+    #[allow(clippy::too_many_arguments)]
+    fn sweep(
+        &self,
+        t: &mut [f64],
+        p: &[f64],
+        omega: f64,
+        dt_cap: &[f64],
+        t_old: &[f64],
+    ) -> f64 {
+        let n_layers = self.model.layers().len();
+        let ambient = self.model.sink().ambient_k;
+        let mut max_delta = 0.0f64;
+        for layer in 0..n_layers {
+            for row in 0..self.rows {
+                for col in 0..self.cols {
+                    let i = self.idx(layer, row, col);
+                    let mut num = p[i];
+                    let mut den = 0.0;
+                    if col > 0 {
+                        num += self.gx[layer] * t[i - 1];
+                        den += self.gx[layer];
+                    }
+                    if col + 1 < self.cols {
+                        num += self.gx[layer] * t[i + 1];
+                        den += self.gx[layer];
+                    }
+                    if row > 0 {
+                        num += self.gy[layer] * t[i - self.cols];
+                        den += self.gy[layer];
+                    }
+                    if row + 1 < self.rows {
+                        num += self.gy[layer] * t[i + self.cols];
+                        den += self.gy[layer];
+                    }
+                    if layer > 0 {
+                        let g = self.gz[layer - 1];
+                        num += g * t[i - self.rows * self.cols];
+                        den += g;
+                    }
+                    if layer + 1 < n_layers {
+                        let g = self.gz[layer];
+                        num += g * t[i + self.rows * self.cols];
+                        den += g;
+                    }
+                    if layer == 0 {
+                        num += self.g_amb * ambient;
+                        den += self.g_amb;
+                    }
+                    if !dt_cap.is_empty() {
+                        num += dt_cap[i] * t_old[i];
+                        den += dt_cap[i];
+                    }
+                    let fresh = num / den;
+                    let updated = t[i] + omega * (fresh - t[i]);
+                    max_delta = max_delta.max((updated - t[i]).abs());
+                    t[i] = updated;
+                }
+            }
+        }
+        max_delta
+    }
+
+    /// Solves for the steady-state temperature field.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] on power-grid shape mismatch or non-convergence.
+    pub fn solve_steady(
+        &self,
+        power: &[PowerGrid],
+        options: &SolveOptions,
+    ) -> Result<ThermalMap, SolveError> {
+        let p = self.assemble_power(power)?;
+        let ambient = self.model.sink().ambient_k;
+        let total_power: f64 = p.iter().sum();
+        // Warm start at the bulk estimate: ambient plus sink rise.
+        let start = ambient + total_power * self.model.sink().resistance_k_per_w;
+        let mut t = vec![start; p.len()];
+        let mut residual = f64::INFINITY;
+        for _ in 0..options.max_iters {
+            residual = self.sweep(&mut t, &p, options.omega, &[], &[]);
+            if residual < options.tolerance_k {
+                return Ok(self.wrap(t));
+            }
+        }
+        Err(SolveError::NotConverged(residual))
+    }
+
+    fn wrap(&self, temps: Vec<f64>) -> ThermalMap {
+        ThermalMap::new(
+            self.rows,
+            self.cols,
+            self.model.layers().len(),
+            self.model.width_m(),
+            self.model.height_m(),
+            self.model.layers().iter().map(|l| l.power_index).collect(),
+            temps,
+        )
+    }
+}
+
+/// Implicit-Euler transient integrator over the same network.
+///
+/// ```no_run
+/// use th_thermal::{Material, ModelLayer, PowerGrid, SolveOptions, StackModel,
+///                  SteadySolver, TransientSolver};
+/// # let model = StackModel::new(0.01, 0.01,
+/// #     vec![ModelLayer::active(2e-6, Material::SILICON, 0)], Default::default());
+/// let solver = SteadySolver::new(model, 16, 16);
+/// let mut transient = TransientSolver::from_ambient(solver);
+/// let mut power = vec![PowerGrid::new(16, 16, 0.01, 0.01)];
+/// power[0].paint_rect(0.0, 0.0, 0.01, 0.01, 30.0);
+/// for _ in 0..100 {
+///     transient.step(&power, 1e-3, &SolveOptions::default()).unwrap();
+/// }
+/// let map = transient.current_map();
+/// ```
+#[derive(Clone, Debug)]
+pub struct TransientSolver {
+    solver: SteadySolver,
+    t: Vec<f64>,
+    elapsed_s: f64,
+}
+
+impl TransientSolver {
+    /// Starts from a uniform ambient-temperature field.
+    pub fn from_ambient(solver: SteadySolver) -> TransientSolver {
+        let n = solver.model.layers().len() * solver.rows * solver.cols;
+        let t0 = solver.model.sink().ambient_k;
+        TransientSolver { solver, t: vec![t0; n], elapsed_s: 0.0 }
+    }
+
+    /// Starts from a previously solved field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's shape does not match the solver.
+    pub fn from_map(solver: SteadySolver, map: &ThermalMap) -> TransientSolver {
+        assert_eq!(
+            (map.rows(), map.cols(), map.layer_count()),
+            (solver.rows, solver.cols, solver.model.layers().len()),
+            "map shape mismatch"
+        );
+        TransientSolver { t: map.temps().to_vec(), solver, elapsed_s: 0.0 }
+    }
+
+    /// Simulated time elapsed so far, seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Advances one implicit-Euler step of `dt_s` seconds under the given
+    /// power maps.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] on shape mismatch or if the inner relaxation fails
+    /// to converge.
+    pub fn step(
+        &mut self,
+        power: &[PowerGrid],
+        dt_s: f64,
+        options: &SolveOptions,
+    ) -> Result<(), SolveError> {
+        let p = self.solver.assemble_power(power)?;
+        let n_layers = self.solver.model.layers().len();
+        let cells = self.solver.rows * self.solver.cols;
+        // C/dt per cell.
+        let mut dt_cap = vec![0.0; p.len()];
+        for layer in 0..n_layers {
+            for i in 0..cells {
+                dt_cap[layer * cells + i] = self.solver.cap[layer] / dt_s;
+            }
+        }
+        let t_old = self.t.clone();
+        let mut residual = f64::INFINITY;
+        for _ in 0..options.max_iters {
+            residual = self.solver.sweep(&mut self.t, &p, options.omega, &dt_cap, &t_old);
+            if residual < options.tolerance_k {
+                self.elapsed_s += dt_s;
+                return Ok(());
+            }
+        }
+        Err(SolveError::NotConverged(residual))
+    }
+
+    /// The current temperature field.
+    pub fn current_map(&self) -> ThermalMap {
+        self.solver.wrap(self.t.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materials::Material;
+    use crate::model::{HeatSink, ModelLayer};
+
+    fn slab_model(r_sink: f64) -> StackModel {
+        StackModel::new(
+            0.01,
+            0.01,
+            vec![
+                ModelLayer::passive(500e-6, Material::SILICON),
+                ModelLayer::active(2e-6, Material::SILICON, 0),
+            ],
+            HeatSink { resistance_k_per_w: r_sink, ambient_k: 300.0 },
+        )
+    }
+
+    fn uniform_power(rows: usize, cols: usize, watts: f64) -> Vec<PowerGrid> {
+        let mut g = PowerGrid::new(rows, cols, 0.01, 0.01);
+        g.paint_rect(0.0, 0.0, 0.01, 0.01, watts);
+        vec![g]
+    }
+
+    #[test]
+    fn uniform_slab_matches_analytic_solution() {
+        // With uniform power P and no lateral gradients, the top-layer
+        // temperature is ambient + P·R_sink, and the active layer adds the
+        // slab's vertical resistance t/(k·A).
+        let rows = 8;
+        let cols = 8;
+        let watts = 50.0;
+        let r_sink = 0.3;
+        let solver = SteadySolver::new(slab_model(r_sink), rows, cols);
+        let map = solver
+            .solve_steady(&uniform_power(rows, cols, watts), &SolveOptions::default())
+            .unwrap();
+        let top = map.layer_mean(0);
+        let active = map.layer_mean(1);
+        let expected_top = 300.0 + watts * r_sink;
+        assert!((top - expected_top).abs() < 0.05, "top {top} vs {expected_top}");
+        // Vertical drop across half of layer0 + half of layer1 (cell centres).
+        let area = 0.01 * 0.01;
+        let r_slab = (500e-6 / 2.0 + 2e-6 / 2.0) / (120.0 * area);
+        let expected_active = expected_top + watts * r_slab;
+        assert!(
+            (active - expected_active).abs() < 0.05,
+            "active {active} vs {expected_active}"
+        );
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // The network is linear: temperatures for P1+P2 equal the sum of
+        // the rises of P1 and P2 alone.
+        let rows = 6;
+        let cols = 6;
+        let solver = SteadySolver::new(slab_model(0.25), rows, cols);
+        let opts = SolveOptions::default();
+
+        let mut p1 = PowerGrid::new(rows, cols, 0.01, 0.01);
+        p1.paint_rect(0.0, 0.0, 0.004, 0.004, 10.0);
+        let mut p2 = PowerGrid::new(rows, cols, 0.01, 0.01);
+        p2.paint_rect(0.006, 0.006, 0.01, 0.01, 20.0);
+        let mut p12 = p1.clone();
+        p12.add(&p2);
+
+        let m1 = solver.solve_steady(&[p1], &opts).unwrap();
+        let m2 = solver.solve_steady(&[p2], &opts).unwrap();
+        let m12 = solver.solve_steady(&[p12], &opts).unwrap();
+
+        for i in 0..m12.temps().len() {
+            let sum = m1.temps()[i] + m2.temps()[i] - 300.0; // one ambient offset
+            assert!(
+                (m12.temps()[i] - sum).abs() < 1e-3,
+                "superposition violated at cell {i}: {} vs {}",
+                m12.temps()[i],
+                sum
+            );
+        }
+    }
+
+    #[test]
+    fn hotspot_is_under_the_heater() {
+        let rows = 9;
+        let cols = 9;
+        let solver = SteadySolver::new(slab_model(0.25), rows, cols);
+        let mut p = PowerGrid::new(rows, cols, 0.01, 0.01);
+        // Heat only the centre ninth.
+        p.paint_rect(0.0033, 0.0033, 0.0066, 0.0066, 30.0);
+        let map = solver.solve_steady(&[p], &SolveOptions::default()).unwrap();
+        let (l, r, c) = map.argmax();
+        assert_eq!(l, 1, "hotspot should be in the active layer");
+        assert!((3..6).contains(&r) && (3..6).contains(&c), "hotspot at ({r},{c})");
+    }
+
+    #[test]
+    fn grid_refinement_converges() {
+        // Peak temperature should change little between 16x16 and 24x24.
+        let watts = 40.0;
+        let opts = SolveOptions::default();
+        let peak = |n: usize| {
+            let solver = SteadySolver::new(slab_model(0.25), n, n);
+            let mut p = PowerGrid::new(n, n, 0.01, 0.01);
+            p.paint_rect(0.002, 0.002, 0.008, 0.008, watts);
+            solver.solve_steady(&[p], &opts).unwrap().max_temp()
+        };
+        let t16 = peak(16);
+        let t24 = peak(24);
+        assert!((t16 - t24).abs() < 0.5, "refinement gap {} K", (t16 - t24).abs());
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let rows = 6;
+        let cols = 6;
+        let solver = SteadySolver::new(slab_model(0.25), rows, cols);
+        let opts = SolveOptions::default();
+        let power = uniform_power(rows, cols, 30.0);
+        let steady = solver.solve_steady(&power, &opts).unwrap();
+
+        let mut tr = TransientSolver::from_ambient(solver);
+        // Thermal RC of the package is ~ms–s; integrate 5 s.
+        for _ in 0..500 {
+            tr.step(&power, 0.01, &opts).unwrap();
+        }
+        let now = tr.current_map();
+        assert!(
+            (now.max_temp() - steady.max_temp()).abs() < 0.2,
+            "transient {} vs steady {}",
+            now.max_temp(),
+            steady.max_temp()
+        );
+        assert!((tr.elapsed_s() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_heats_monotonically_under_constant_power() {
+        let rows = 4;
+        let cols = 4;
+        let solver = SteadySolver::new(slab_model(0.25), rows, cols);
+        let opts = SolveOptions::default();
+        let power = uniform_power(rows, cols, 30.0);
+        let mut tr = TransientSolver::from_ambient(solver);
+        let mut last = tr.current_map().max_temp();
+        for _ in 0..20 {
+            tr.step(&power, 0.005, &opts).unwrap();
+            let now = tr.current_map().max_temp();
+            assert!(now >= last - 1e-9, "temperature dropped: {now} < {last}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let solver = SteadySolver::new(slab_model(0.25), 6, 6);
+        let bad = vec![PowerGrid::new(4, 4, 0.01, 0.01)];
+        match solver.solve_steady(&bad, &SolveOptions::default()) {
+            Err(SolveError::PowerGridMismatch { .. }) => {}
+            other => panic!("expected shape error, got {other:?}"),
+        }
+        match solver.solve_steady(&[], &SolveOptions::default()) {
+            Err(SolveError::PowerLayerCount { expected: 1, got: 0 }) => {}
+            other => panic!("expected count error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let solver = SteadySolver::new(slab_model(0.25), 4, 4);
+        let p = vec![PowerGrid::new(4, 4, 0.01, 0.01)];
+        let map = solver.solve_steady(&p, &SolveOptions::default()).unwrap();
+        for &t in map.temps() {
+            assert!((t - 300.0).abs() < 1e-6);
+        }
+    }
+}

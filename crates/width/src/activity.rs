@@ -1,0 +1,161 @@
+//! Per-die switching-activity accounting.
+
+use crate::class::Width;
+use crate::DIES;
+
+/// Counts switching events per die of the 3D stack.
+///
+/// Die 0 is the **top** die (adjacent to the heat sink); die `DIES-1` is the
+/// bottom. Thermal Herding's goal is to concentrate activity in die 0, so
+/// the power model asks this accumulator how each block's energy should be
+/// distributed vertically.
+///
+/// ```
+/// use th_width::{DieActivity, Width};
+/// let mut a = DieActivity::default();
+/// a.record(Width::Low);   // top die only
+/// a.record(Width::Full);  // all four dies
+/// assert_eq!(a.die(0), 2);
+/// assert_eq!(a.die(3), 1);
+/// assert!((a.top_die_fraction() - 0.4).abs() < 1e-12); // 2 of 5 events
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DieActivity {
+    counts: [u64; DIES],
+}
+
+impl DieActivity {
+    /// Records one datapath traversal of the given width: a low-width value
+    /// only switches the top die; a full-width value switches all dies.
+    pub fn record(&mut self, width: Width) {
+        self.counts[0] += 1;
+        if width == Width::Full {
+            for c in &mut self.counts[1..] {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Records `n` traversals of the given width.
+    pub fn record_n(&mut self, width: Width, n: u64) {
+        self.counts[0] += n;
+        if width == Width::Full {
+            for c in &mut self.counts[1..] {
+                *c += n;
+            }
+        }
+    }
+
+    /// Records an event confined to one specific die (e.g. an RS entry
+    /// allocated on die `d` by the herding allocator).
+    pub fn record_on_die(&mut self, die: usize, n: u64) {
+        self.counts[die] += n;
+    }
+
+    /// Activity count on die `die` (0 = top).
+    pub fn die(&self, die: usize) -> u64 {
+        self.counts[die]
+    }
+
+    /// Total events across all dies.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of all switching events that occur on the top die.
+    pub fn top_die_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            // An idle block is "perfectly herded" by convention.
+            1.0
+        } else {
+            self.counts[0] as f64 / t as f64
+        }
+    }
+
+    /// Per-die fractions (sums to 1 unless totally idle).
+    pub fn fractions(&self) -> [f64; DIES] {
+        let t = self.total();
+        let mut out = [0.0; DIES];
+        if t == 0 {
+            out[0] = 1.0;
+            return out;
+        }
+        for (o, c) in out.iter_mut().zip(self.counts) {
+            *o = c as f64 / t as f64;
+        }
+        out
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &DieActivity) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn low_width_stays_on_top() {
+        let mut a = DieActivity::default();
+        a.record_n(Width::Low, 100);
+        assert_eq!(a.die(0), 100);
+        assert_eq!(a.die(1) + a.die(2) + a.die(3), 0);
+        assert_eq!(a.top_die_fraction(), 1.0);
+    }
+
+    #[test]
+    fn full_width_hits_all_dies() {
+        let mut a = DieActivity::default();
+        a.record(Width::Full);
+        for d in 0..DIES {
+            assert_eq!(a.die(d), 1);
+        }
+        assert!((a.top_die_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_block_is_fully_herded() {
+        let a = DieActivity::default();
+        assert_eq!(a.top_die_fraction(), 1.0);
+        assert_eq!(a.fractions(), [1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = DieActivity::default();
+        a.record(Width::Full);
+        let mut b = DieActivity::default();
+        b.record_n(Width::Low, 3);
+        a.merge(&b);
+        assert_eq!(a.die(0), 4);
+        assert_eq!(a.die(3), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn fractions_sum_to_one(lows in 0u64..1000, fulls in 0u64..1000, per_die in proptest::array::uniform4(0u64..100)) {
+            let mut a = DieActivity::default();
+            a.record_n(Width::Low, lows);
+            a.record_n(Width::Full, fulls);
+            for (d, n) in per_die.iter().enumerate() {
+                a.record_on_die(d, *n);
+            }
+            let sum: f64 = a.fractions().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn total_is_weighted_count(lows in 0u64..1000, fulls in 0u64..1000) {
+            let mut a = DieActivity::default();
+            a.record_n(Width::Low, lows);
+            a.record_n(Width::Full, fulls);
+            prop_assert_eq!(a.total(), lows + fulls * DIES as u64);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Characterisation tests: each suite must sit at the point in the
+//! behavioural space (memory intensity, operand widths, branchiness) that
+//! its role in the paper's results requires.
+
+use th_sim::{SimConfig, Simulator};
+use th_workloads::workload_by_name;
+
+fn run(name: &str, cfg: SimConfig, budget: u64) -> th_sim::SimResult {
+    let w = workload_by_name(name).unwrap_or_else(|| panic!("workload {name} missing"));
+    Simulator::new(cfg).run(&w.program, budget.min(w.inst_budget)).expect("simulation runs")
+}
+
+#[test]
+fn mcf_like_is_dram_bound() {
+    let r = run("mcf-like", SimConfig::baseline(), 100_000);
+    assert!(
+        r.stats.dram_per_kilo_inst() > 50.0,
+        "mcf-like dram/kinst = {:.1}",
+        r.stats.dram_per_kilo_inst()
+    );
+    assert!(r.ipc() < 0.3, "mcf-like should crawl, ipc = {:.2}", r.ipc());
+}
+
+#[test]
+fn crafty_like_is_compute_bound_and_full_width() {
+    let r = run("crafty-like", SimConfig::baseline(), 150_000);
+    assert!(
+        r.stats.dram_per_kilo_inst() < 2.0,
+        "crafty-like dram/kinst = {:.1}",
+        r.stats.dram_per_kilo_inst()
+    );
+    assert!(r.ipc() > 1.0, "crafty-like ipc = {:.2}", r.ipc());
+    // Bitboards are 64-bit: full-width ops dominate.
+    assert!(
+        r.stats.int_ops_full > r.stats.int_ops_low,
+        "crafty-like low {} vs full {}",
+        r.stats.int_ops_low,
+        r.stats.int_ops_full
+    );
+}
+
+#[test]
+fn media_kernels_are_low_width_rich() {
+    for name in ["mpeg2-like", "susan-like"] {
+        let r = run(name, SimConfig::thermal_herding(), 150_000);
+        assert!(
+            r.stats.low_width_fraction() > 0.55,
+            "{name} low-width fraction = {:.2}",
+            r.stats.low_width_fraction()
+        );
+    }
+}
+
+#[test]
+fn memory_intensity_ordering_matches_roles() {
+    // mcf (worst speedup) must be the most *latency-bound* workload: its
+    // misses are a serialized pointer chase, unlike swim's streaming
+    // misses which overlap. patricia and mpeg2 (best speedups) barely
+    // touch DRAM at all.
+    let mcf = run("mcf-like", SimConfig::baseline(), 80_000);
+    let swim = run("swim-like", SimConfig::baseline(), 150_000);
+    let patricia = run("patricia-like", SimConfig::baseline(), 150_000);
+    let mpeg2 = run("mpeg2-like", SimConfig::baseline(), 150_000);
+    assert!(mcf.ipc() < swim.ipc() / 2.0, "mcf ipc {:.2} vs swim {:.2}", mcf.ipc(), swim.ipc());
+    assert!(
+        swim.stats.dram_per_kilo_inst() > patricia.stats.dram_per_kilo_inst(),
+        "swim {:.1} !> patricia {:.1}",
+        swim.stats.dram_per_kilo_inst(),
+        patricia.stats.dram_per_kilo_inst()
+    );
+    assert!(
+        mcf.stats.dram_per_kilo_inst() > 10.0 * mpeg2.stats.dram_per_kilo_inst().max(0.1),
+        "mcf {:.1} vs mpeg2 {:.1}",
+        mcf.stats.dram_per_kilo_inst(),
+        mpeg2.stats.dram_per_kilo_inst()
+    );
+}
+
+#[test]
+fn width_prediction_accuracy_is_high_on_stable_kernels() {
+    // §3.8: "97% of all instructions fetched have their widths correctly
+    // predicted" — media/embedded kernels should be near that.
+    let r = run("susan-like", SimConfig::thermal_herding(), 200_000);
+    assert!(
+        r.stats.width_pred.accuracy() > 0.93,
+        "susan width accuracy = {:.3}",
+        r.stats.width_pred.accuracy()
+    );
+}
+
+#[test]
+fn yacr2_defeats_width_prediction_more_than_media() {
+    let yacr2 = run("yacr2-like", SimConfig::thermal_herding(), 150_000);
+    let susan = run("susan-like", SimConfig::thermal_herding(), 150_000);
+    assert!(
+        yacr2.stats.width_pred.unsafe_rate() > susan.stats.width_pred.unsafe_rate(),
+        "yacr2 unsafe {:.4} !> susan unsafe {:.4}",
+        yacr2.stats.width_pred.unsafe_rate(),
+        susan.stats.width_pred.unsafe_rate()
+    );
+}
+
+#[test]
+fn pointer_kernels_exercise_pam() {
+    let r = run("treeadd-like", SimConfig::thermal_herding(), 150_000);
+    assert!(r.stats.pam.total() > 1_000, "pam broadcasts {}", r.stats.pam.total());
+}
+
+#[test]
+fn fp_kernels_use_the_fp_cluster() {
+    for name in ["swim-like", "art-like", "equake-like"] {
+        let r = run(name, SimConfig::baseline(), 100_000);
+        let frac = r.stats.fp_ops as f64 / r.stats.committed as f64;
+        assert!(frac > 0.15, "{name} fp fraction = {frac:.2}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Transient thermal behaviour: how fast the stack heats up when a hot
+//! program phase starts — the time scale dynamic thermal management has
+//! to work with. Compares the planar baseline, 3D without herding, and
+//! 3D with herding on the peak-power workload.
+//!
+//! ```text
+//! cargo run --release -p thermal-herding --example transient [workload]
+//! ```
+
+use th_workloads::workload_by_name;
+use thermal_herding::{run_chip, transient_heatup, Variant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "mpeg2-like".into());
+    let w = workload_by_name(&workload)
+        .ok_or_else(|| format!("unknown workload `{workload}`"))?;
+
+    let dt = 0.05; // 50 ms steps
+    let steps = 60; // 3 s of heat-up
+
+    println!("heat-up traces running {} (50 ms implicit-Euler steps):\n", w.name);
+    let mut traces = Vec::new();
+    for variant in [Variant::Base, Variant::ThreeDNoTh, Variant::ThreeD] {
+        let run = run_chip(variant, &w, u64::MAX)?;
+        let trace = transient_heatup(&run, 24, dt, steps)?;
+        traces.push((variant, run.power.total_w(), trace));
+    }
+
+    println!("{:>8} {:>12} {:>12} {:>12}", "time", "Base", "3D-noTH", "3D+TH");
+    for i in (0..=steps).step_by(5) {
+        print!("{:>6.2} s", traces[0].2[i].0);
+        for (_, _, trace) in &traces {
+            print!(" {:>10.1} K", trace[i].1);
+        }
+        println!();
+    }
+
+    println!();
+    for (variant, power, trace) in &traces {
+        let end = trace.last().unwrap().1;
+        let start = trace[0].1;
+        // Time to cover 90% of the rise.
+        let target = start + 0.9 * (end - start);
+        let t90 = trace
+            .iter()
+            .find(|(_, t)| *t >= target)
+            .map(|(time, _)| *time)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<8} {:>5.1} W: {:.1} K -> {:.1} K, 90% of the rise in {:.2} s",
+            variant.label(),
+            power,
+            start,
+            end,
+            t90
+        );
+    }
+    println!(
+        "\nThe herded 3D design heats to a lower ceiling; DTM headroom scales\n\
+         with the gap to the no-herding stack."
+    );
+    Ok(())
+}
