@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a bench smoke pass.
+#
+#   ./ci.sh            build + test + bench smoke
+#   TH_THREADS=4 ./ci.sh   same, with the execution layer at 4 lanes
+#
+# TH_BENCH_FAST=1 shrinks the Criterion warm-up/measurement budgets so
+# the bench pass is a compile-and-run smoke, not a measurement.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q --release
+
+# Bench smoke: the thermal kernel comparison and the pipeline report at a
+# tiny instruction budget, just to prove both run end to end.
+TH_BENCH_FAST=1 cargo bench -p th-bench --bench thermal_sweep
+cargo run --release -p th-bench --bin bench_report -- 8000 10
+
+echo "ci.sh: all checks passed"

@@ -1,0 +1,63 @@
+//! `thermal_sweep`: steady-state solve cost of the scalar lexicographic
+//! reference kernel vs the red-black kernel (parallel color strips via
+//! `TH_THREADS`) on a 9-layer stack at 32×32 and 64×64.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use th_thermal::{
+    Kernel, Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver,
+};
+
+/// A 9-layer, 3-active-die stack.
+fn nine_layer_model(width_m: f64, height_m: f64) -> StackModel {
+    StackModel::new(
+        width_m,
+        height_m,
+        vec![
+            ModelLayer::passive(1.0e-3, Material::COPPER),
+            ModelLayer::passive(50e-6, Material::TIM_ALLOY),
+            ModelLayer::passive(100e-6, Material::SILICON),
+            ModelLayer::active(2e-6, Material::SILICON, 0),
+            ModelLayer::passive(5e-6, Material::BOND_INTERFACE),
+            ModelLayer::active(2e-6, Material::SILICON, 1),
+            ModelLayer::passive(20e-6, Material::BOND_INTERFACE),
+            ModelLayer::active(2e-6, Material::SILICON, 2),
+            ModelLayer::passive(50e-6, Material::SILICON),
+        ],
+        Default::default(),
+    )
+}
+
+fn power(rows: usize, cols: usize, w: f64, h: f64) -> Vec<PowerGrid> {
+    (0..3)
+        .map(|die| {
+            let mut g = PowerGrid::new(rows, cols, w, h);
+            g.paint_rect(0.0, 0.0, w, h, 10.0);
+            g.paint_rect(w * 0.2, h * 0.3, w * 0.35, h * 0.5, 4.0 + die as f64);
+            g
+        })
+        .collect()
+}
+
+fn thermal_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_sweep");
+    group.sample_size(10);
+    let (w, h) = (5.5e-3, 5.8e-3);
+    for rows in [32usize, 64] {
+        let solver = SteadySolver::new(nine_layer_model(w, h), rows, rows);
+        let grids = power(rows, rows, w, h);
+        for (label, kernel) in
+            [("scalar", Kernel::Lexicographic), ("red_black", Kernel::RedBlack)]
+        {
+            let opts = SolveOptions { kernel, ..SolveOptions::default() };
+            group.bench_with_input(BenchmarkId::new(label, rows), &rows, |b, _| {
+                b.iter(|| {
+                    black_box(solver.solve_steady(&grids, &opts).expect("converges"))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, thermal_sweep);
+criterion_main!(benches);

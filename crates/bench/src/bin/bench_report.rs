@@ -1,0 +1,134 @@
+//! End-to-end pipeline benchmark: times the Figure 8/9/10 experiment
+//! sweeps at one thread and at the configured thread count, plus the
+//! thermal steady-state solve (scalar reference kernel vs red-black),
+//! and writes the measurements to `BENCH_pipeline.json`.
+//!
+//! ```text
+//! cargo run --release -p th-bench --bin bench_report [budget] [fig10-rows]
+//! ```
+//!
+//! The parallel leg uses `TH_THREADS` lanes (default: available
+//! parallelism); the sequential leg always uses one. Defaults: a
+//! 60 000-instruction budget and a 16×16 Figure 10 grid, so the report
+//! finishes in minutes rather than the full paper-scale sweep.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use th_exec::Pool;
+use th_thermal::{
+    Kernel, Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver,
+};
+use thermal_herding::experiments::{fig10, fig8, fig9};
+
+fn time_s<R>(f: impl FnOnce() -> R) -> f64 {
+    let t0 = Instant::now();
+    let r = f();
+    std::hint::black_box(&r);
+    t0.elapsed().as_secs_f64()
+}
+
+/// A 9-layer, 3-active-die stack for the thermal kernel comparison.
+fn nine_layer_model() -> StackModel {
+    StackModel::new(
+        5.5e-3,
+        5.8e-3,
+        vec![
+            ModelLayer::passive(1.0e-3, Material::COPPER),
+            ModelLayer::passive(50e-6, Material::TIM_ALLOY),
+            ModelLayer::passive(100e-6, Material::SILICON),
+            ModelLayer::active(2e-6, Material::SILICON, 0),
+            ModelLayer::passive(5e-6, Material::BOND_INTERFACE),
+            ModelLayer::active(2e-6, Material::SILICON, 1),
+            ModelLayer::passive(20e-6, Material::BOND_INTERFACE),
+            ModelLayer::active(2e-6, Material::SILICON, 2),
+            ModelLayer::passive(50e-6, Material::SILICON),
+        ],
+        Default::default(),
+    )
+}
+
+fn thermal_solve_s(kernel: Kernel, rows: usize) -> f64 {
+    let solver = SteadySolver::new(nine_layer_model(), rows, rows);
+    let grids: Vec<PowerGrid> = (0..3)
+        .map(|die| {
+            let mut g = PowerGrid::new(rows, rows, 5.5e-3, 5.8e-3);
+            g.paint_rect(0.0, 0.0, 5.5e-3, 5.8e-3, 10.0);
+            g.paint_rect(1.1e-3, 1.7e-3, 1.9e-3, 2.9e-3, 4.0 + die as f64);
+            g
+        })
+        .collect();
+    let opts = SolveOptions { kernel, ..SolveOptions::default() };
+    // Warm once, then report the best of three (solve cost dominates any
+    // cache warm-up, but the minimum is the stablest point estimate).
+    solver.solve_steady(&grids, &opts).expect("converges");
+    (0..3)
+        .map(|_| time_s(|| solver.solve_steady(&grids, &opts).expect("converges")))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let budget: u64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let rows: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let par_threads = th_exec::threads_from_env().max(1);
+
+    let seq = Pool::new(1);
+    let par = Pool::new(par_threads);
+
+    let experiments: [(&str, Box<dyn Fn(&Pool) -> ()>); 3] = [
+        ("fig8", Box::new(move |p: &Pool| {
+            fig8::run_with_pool(budget, p);
+        })),
+        ("fig9", Box::new(move |p: &Pool| {
+            fig9::run_with_pool(budget, p);
+        })),
+        ("fig10", Box::new(move |p: &Pool| {
+            fig10::run_with_pool(budget, rows, p);
+        })),
+    ];
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"budget_insts\": {budget},").unwrap();
+    writeln!(json, "  \"fig10_rows\": {rows},").unwrap();
+    writeln!(json, "  \"threads\": {par_threads},").unwrap();
+    writeln!(json, "  \"experiments\": [").unwrap();
+    for (i, (name, runner)) in experiments.iter().enumerate() {
+        eprintln!("timing {name} at 1 thread...");
+        let seq_s = time_s(|| runner(&seq));
+        eprintln!("timing {name} at {par_threads} threads...");
+        let par_s = time_s(|| runner(&par));
+        let speedup = seq_s / par_s;
+        println!(
+            "{name:>6}: {seq_s:8.2} s sequential, {par_s:8.2} s at {par_threads} threads \
+             ({speedup:.2}x)"
+        );
+        let comma = if i + 1 < experiments.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"seq_s\": {seq_s:.4}, \"par_s\": {par_s:.4}, \
+             \"threads\": {par_threads}, \"speedup\": {speedup:.4}}}{comma}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+
+    eprintln!("timing thermal solve kernels at 64x64x9...");
+    let scalar_s = thermal_solve_s(Kernel::Lexicographic, 64);
+    let rb_s = thermal_solve_s(Kernel::RedBlack, 64);
+    println!(
+        "thermal solve 64x64x9: scalar {scalar_s:.3} s, red-black {rb_s:.3} s ({:.2}x)",
+        scalar_s / rb_s
+    );
+    writeln!(
+        json,
+        "  \"thermal_solve_64x64x9\": {{\"scalar_s\": {scalar_s:.4}, \
+         \"red_black_s\": {rb_s:.4}, \"speedup\": {:.4}}}",
+        scalar_s / rb_s
+    )
+    .unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

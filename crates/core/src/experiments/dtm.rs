@@ -197,12 +197,18 @@ pub struct Dtm {
     pub traces: Vec<DtmTrace>,
 }
 
-/// Runs the comparison on `workload` with cap `cap_k`.
+/// Runs the comparison on `workload` with cap `cap_k`, the two design
+/// points in parallel on the global [`th_exec::pool`].
 pub fn run(workload: &Workload, cap_k: f64, rows: usize) -> Dtm {
-    let traces = [Variant::ThreeDNoTh, Variant::ThreeD]
-        .into_iter()
-        .map(|v| run_variant(v, workload, cap_k, rows, 0.05, 80))
-        .collect();
+    run_with_pool(workload, cap_k, rows, th_exec::pool())
+}
+
+/// [`run`] on an explicit pool. The traces come back in `[3D-noTH, 3D]`
+/// order regardless of thread count.
+pub fn run_with_pool(workload: &Workload, cap_k: f64, rows: usize, pool: &th_exec::Pool) -> Dtm {
+    let traces = pool.map(&[Variant::ThreeDNoTh, Variant::ThreeD], |&v| {
+        run_variant(v, workload, cap_k, rows, 0.05, 80)
+    });
     Dtm { traces }
 }
 

@@ -92,19 +92,37 @@ pub fn worst_case_candidates() -> Vec<Workload> {
         .collect()
 }
 
-/// Runs the Figure 10 experiment at `rows × rows` grid resolution.
+/// Runs the Figure 10 experiment at `rows × rows` grid resolution,
+/// fanned out over the global [`th_exec::pool`].
 pub fn run(max_insts: u64, rows: usize) -> Fig10 {
+    run_with_pool(max_insts, rows, th_exec::pool())
+}
+
+/// [`run`] on an explicit pool. Each phase (worst-case search, same-app
+/// comparison, iso-power, ROB sweep) fans its independent runs out in
+/// parallel and reduces in a fixed order, so the output is identical for
+/// any thread count.
+pub fn run_with_pool(max_insts: u64, rows: usize, pool: &th_exec::Pool) -> Fig10 {
     let candidates = worst_case_candidates();
     let variants = [Variant::Base, Variant::ThreeDNoTh, Variant::ThreeD];
 
+    // Worst-case search: variants × candidates, reduced per variant in
+    // candidate order (first strict maximum wins, as sequentially).
+    let worst_jobs: Vec<(usize, usize)> = (0..variants.len())
+        .flat_map(|vi| (0..candidates.len()).map(move |ci| (vi, ci)))
+        .collect();
+    let analyses = pool.map(&worst_jobs, |&(vi, ci)| {
+        let run = run_chip(variants[vi], &candidates[ci], max_insts).expect("candidate runs");
+        thermal_analysis(&run, rows).expect("thermal solves")
+    });
     let mut worst = Vec::new();
-    for variant in variants {
+    for (vi, &variant) in variants.iter().enumerate() {
         let mut best: Option<WorstCase> = None;
-        for w in &candidates {
-            let run = run_chip(variant, w, max_insts).expect("candidate runs");
-            let analysis = thermal_analysis(&run, rows).expect("thermal solves");
+        for (ci, w) in candidates.iter().enumerate() {
+            let analysis = &analyses[vi * candidates.len() + ci];
             if best.as_ref().is_none_or(|b| analysis.peak_k() > b.peak_k()) {
-                best = Some(WorstCase { variant, workload: w.name, analysis });
+                best =
+                    Some(WorstCase { variant, workload: w.name, analysis: analysis.clone() });
             }
         }
         worst.push(best.expect("candidates non-empty"));
@@ -114,13 +132,10 @@ pub fn run(max_insts: u64, rows: usize) -> Fig10 {
     // baseline's worst-case app, as the paper does.
     let common = worst[0].workload;
     let common_w = workload_by_name(common).expect("common workload");
-    let same_app = variants
-        .iter()
-        .map(|&variant| {
-            let run = run_chip(variant, &common_w, max_insts).expect("runs");
-            thermal_analysis(&run, rows).expect("solves")
-        })
-        .collect();
+    let same_app = pool.map(&variants, |&variant| {
+        let run = run_chip(variant, &common_w, max_insts).expect("runs");
+        thermal_analysis(&run, rows).expect("solves")
+    });
 
     // §5.3 iso-power: "the 3D processor at the same total power (90 W)
     // and same frequency (2.66 GHz) as the planar processor ... mimics a
@@ -128,8 +143,13 @@ pub fn run(max_insts: u64, rows: usize) -> Fig10 {
     // power benefits of a 3D organization" — the planar power map,
     // planar pricing and all, compressed into the 4-die stack.
     let iso = {
-        let base = run_chip(Variant::Base, &common_w, max_insts).expect("runs");
-        let mut r = run_chip(Variant::ThreeDNoTh, &common_w, max_insts).expect("runs");
+        let mut runs = pool
+            .map(&[Variant::Base, Variant::ThreeDNoTh], |&v| {
+                run_chip(v, &common_w, max_insts).expect("runs")
+            })
+            .into_iter();
+        let base = runs.next().expect("base run");
+        let mut r = runs.next().expect("3d run");
         r.power = base.power.clone();
         r.chip_stats = base.chip_stats.clone();
         thermal_analysis_scaled(&r, rows, 1.0).expect("iso-power solves")
@@ -137,10 +157,12 @@ pub fn run(max_insts: u64, rows: usize) -> Fig10 {
 
     // §5.3 ROB width ratios under the full 3D design, aggregated over
     // every workload.
+    let rob_runs = pool.map(&all_workloads(), |w| {
+        run_chip(Variant::ThreeD, w, max_insts).expect("runs")
+    });
     let mut reads = (0u64, 0u64);
     let mut writes = (0u64, 0u64);
-    for w in all_workloads() {
-        let r = run_chip(Variant::ThreeD, &w, max_insts).expect("runs");
+    for r in &rob_runs {
         reads.0 += r.core_stats.rob_reads_low;
         reads.1 += r.core_stats.rob_reads_full;
         writes.0 += r.core_stats.rob_writes_low;

@@ -106,18 +106,33 @@ fn geomean(values: impl Iterator<Item = f64>) -> f64 {
 }
 
 /// Runs the Figure 8 sweep: every workload × the five design points,
-/// `max_insts` per core per run.
+/// `max_insts` per core per run, fanned out over the global
+/// [`th_exec::pool`].
 pub fn run(max_insts: u64) -> Fig8 {
+    run_with_pool(max_insts, th_exec::pool())
+}
+
+/// [`run`] on an explicit pool. The `(workload × variant)` matrix is
+/// flattened into one job list and the results are reduced in workload
+/// order, so the output is identical for any thread count.
+pub fn run_with_pool(max_insts: u64, pool: &th_exec::Pool) -> Fig8 {
     let variants = Variant::figure8();
+    let workloads = all_workloads();
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|wi| (0..variants.len()).map(move |vi| (wi, vi)))
+        .collect();
+    let results = pool.map(&jobs, |&(wi, vi)| {
+        run_chip(variants[vi], &workloads[wi], max_insts).expect("workload runs")
+    });
+
     let mut rows = Vec::new();
     let mut width_correct = 0u64;
     let mut width_total = 0u64;
-
-    for w in all_workloads() {
+    for (wi, w) in workloads.iter().enumerate() {
         let mut ipc = [0.0; 5];
         let mut ipns = [0.0; 5];
         for (i, &variant) in variants.iter().enumerate() {
-            let r = run_chip(variant, &w, max_insts).expect("workload runs");
+            let r = &results[wi * variants.len() + i];
             ipc[i] = r.ipc();
             ipns[i] = r.ipns();
             if variant == Variant::ThreeD {

@@ -71,22 +71,39 @@ impl Fig9 {
     }
 }
 
-/// Runs the Figure 9 experiment.
+/// Runs the Figure 9 experiment, fanned out over the global
+/// [`th_exec::pool`].
 pub fn run(max_insts: u64) -> Fig9 {
-    let mpeg2 = workload_by_name("mpeg2-like").expect("mpeg2-like exists");
-    let bars = [Variant::Base, Variant::ThreeDNoTh, Variant::ThreeD]
-        .into_iter()
-        .map(|variant| Fig9Bar {
-            variant,
-            result: run_chip(variant, &mpeg2, max_insts).expect("mpeg2 runs"),
-        })
-        .collect();
+    run_with_pool(max_insts, th_exec::pool())
+}
 
-    let savings = all_workloads()
+/// [`run`] on an explicit pool. The three bars and the per-workload
+/// base/3D pairs form one flat job list; results are reduced in a fixed
+/// order, so the output is identical for any thread count.
+pub fn run_with_pool(max_insts: u64, pool: &th_exec::Pool) -> Fig9 {
+    let mpeg2 = workload_by_name("mpeg2-like").expect("mpeg2-like exists");
+    let workloads = all_workloads();
+    let bar_variants = [Variant::Base, Variant::ThreeDNoTh, Variant::ThreeD];
+
+    let mut jobs: Vec<(Variant, &th_workloads::Workload)> =
+        bar_variants.iter().map(|&v| (v, &mpeg2)).collect();
+    for w in &workloads {
+        jobs.push((Variant::Base, w));
+        jobs.push((Variant::ThreeD, w));
+    }
+    let mut results = pool
+        .map(&jobs, |&(variant, w)| run_chip(variant, w, max_insts).expect("workload runs"))
+        .into_iter();
+
+    let bars = bar_variants
+        .iter()
+        .map(|&variant| Fig9Bar { variant, result: results.next().expect("bar result") })
+        .collect();
+    let savings = workloads
         .iter()
         .map(|w| {
-            let base = run_chip(Variant::Base, w, max_insts).expect("base runs");
-            let three_d = run_chip(Variant::ThreeD, w, max_insts).expect("3d runs");
+            let base = results.next().expect("base result");
+            let three_d = results.next().expect("3d result");
             PowerSaving {
                 workload: w.name,
                 base_w: base.power.total_w(),

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API surface
+//! this workspace's benches use: `Criterion`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!`/`criterion_main!` macros. Each benchmark is
+//! warmed up briefly, then timed over an adaptive iteration count; the
+//! mean per-iteration time (and throughput, when declared) is printed.
+//!
+//! Set `TH_BENCH_FAST=1` to shrink the measurement budget (CI smoke runs).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark.
+fn budgets() -> (Duration, Duration) {
+    if std::env::var_os("TH_BENCH_FAST").is_some() {
+        (Duration::from_millis(10), Duration::from_millis(40))
+    } else {
+        (Duration::from_millis(80), Duration::from_millis(400))
+    }
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_s: f64,
+}
+
+impl Bencher {
+    /// Times `f`: short warmup, then an adaptive measurement loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let (warmup, measure) = budgets();
+        // Warmup and per-iteration cost estimate.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((measure.as_secs_f64() / est.max(1e-9)).ceil() as u64).clamp(1, 10_000_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_s = t0.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn report(id: &str, mean_s: f64, throughput: Option<Throughput>) {
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 / mean_s / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {:.3} MiB/s", n as f64 / mean_s / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{id:<50} time: {:>12}/iter{thrpt}", fmt_time(mean_s));
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count hint (accepted for API compatibility; the shim's
+    /// budget is time-based).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean_s: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.0), b.mean_s, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean_s: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), b.mean_s, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (no-op in the shim).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean_s: 0.0 };
+        f(&mut b);
+        report(&id.0, b.mean_s, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,446 @@
+//! Offline stand-in for the `rand` crate (0.8 line).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the small slice of `rand` it actually uses. The generator is
+//! **bit-exact** with `rand 0.8.5`'s `StdRng` — ChaCha12 seeded through
+//! the PCG32-based `seed_from_u64` expansion — and the `gen`/`gen_range`/
+//! `gen_bool` sampling follows the same algorithms (widening-multiply
+//! rejection for integers, 52-bit mantissa floats, 64-bit Bernoulli), so
+//! every workload built from a fixed seed reproduces the exact byte
+//! streams the experiment calibration was performed against.
+
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+/// A random number generator: the `rand_core` pair of primitives.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be built from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the PCG32 output function,
+    /// exactly as `rand_core 0.6` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod std_rng {
+    use super::{RngCore, SeedableRng};
+
+    /// ChaCha block function: `rounds` rounds over the 16-word state.
+    fn chacha_block(state: &[u32; 16], rounds: usize, out: &mut [u32; 16]) {
+        let mut x = *state;
+        for _ in 0..rounds / 2 {
+            // Column round followed by diagonal round.
+            for &(a, b, c, d) in &[
+                (0, 4, 8, 12),
+                (1, 5, 9, 13),
+                (2, 6, 10, 14),
+                (3, 7, 11, 15),
+                (0, 5, 10, 15),
+                (1, 6, 11, 12),
+                (2, 7, 8, 13),
+                (3, 4, 9, 14),
+            ] {
+                x[a] = x[a].wrapping_add(x[b]);
+                x[d] = (x[d] ^ x[a]).rotate_left(16);
+                x[c] = x[c].wrapping_add(x[d]);
+                x[b] = (x[b] ^ x[c]).rotate_left(12);
+                x[a] = x[a].wrapping_add(x[b]);
+                x[d] = (x[d] ^ x[a]).rotate_left(8);
+                x[c] = x[c].wrapping_add(x[d]);
+                x[b] = (x[b] ^ x[c]).rotate_left(7);
+            }
+        }
+        for i in 0..16 {
+            out[i] = x[i].wrapping_add(state[i]);
+        }
+    }
+
+    /// `rand 0.8`'s `StdRng`: ChaCha12 behind a 4-block (64-word) output
+    /// buffer with `rand_core::BlockRng` consumption semantics.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        /// Key words (seed), little-endian.
+        key: [u32; 8],
+        /// 64-bit block counter (words 12–13) and stream id (14–15, zero).
+        counter: u64,
+        /// Buffered output: four sequential blocks.
+        results: [u32; 64],
+        /// Next word to consume; `64` means the buffer is exhausted.
+        index: usize,
+    }
+
+    impl StdRng {
+        fn generate(&mut self) {
+            for block in 0..4 {
+                let ctr = self.counter.wrapping_add(block as u64);
+                let state: [u32; 16] = [
+                    0x6170_7865,
+                    0x3320_646e,
+                    0x7962_2d32,
+                    0x6b20_6574,
+                    self.key[0],
+                    self.key[1],
+                    self.key[2],
+                    self.key[3],
+                    self.key[4],
+                    self.key[5],
+                    self.key[6],
+                    self.key[7],
+                    ctr as u32,
+                    (ctr >> 32) as u32,
+                    0,
+                    0,
+                ];
+                let mut out = [0u32; 16];
+                chacha_block(&state, 12, &mut out);
+                self.results[block * 16..block * 16 + 16].copy_from_slice(&out);
+            }
+            self.counter = self.counter.wrapping_add(4);
+        }
+
+        fn generate_and_set(&mut self, index: usize) {
+            self.generate();
+            self.index = index;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> StdRng {
+            let mut key = [0u32; 8];
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            StdRng { key, counter: 0, results: [0; 64], index: 64 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 64 {
+                self.generate_and_set(0);
+            }
+            let value = self.results[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let index = self.index;
+            if index < 63 {
+                self.index += 2;
+                u64::from(self.results[index]) | (u64::from(self.results[index + 1]) << 32)
+            } else if index >= 64 {
+                self.generate_and_set(2);
+                u64::from(self.results[0]) | (u64::from(self.results[1]) << 32)
+            } else {
+                let x = u64::from(self.results[63]);
+                self.generate_and_set(1);
+                let y = u64::from(self.results[0]);
+                (y << 32) | x
+            }
+        }
+    }
+}
+
+/// Types samplable uniformly over their whole domain (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_via_u32 {
+    ($($ty:ty),*) => {$(
+        impl Standard for $ty {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*}
+}
+standard_via_u32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! standard_via_u64 {
+    ($($ty:ty),*) => {$(
+        impl Standard for $ty {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*}
+}
+standard_via_u64!(u64, i64, usize, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // rand 0.8: one u32, low bit.
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53-bit uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly samplable from a half-open or inclusive range.
+pub trait SampleUniform: Sized {
+    /// Draws from `low..high` (exclusive) or `low..=high` (inclusive).
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Widening multiply returning `(high, low)` words.
+trait WideningMul: Sized {
+    fn wmul(self, rhs: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn wmul(self, rhs: u32) -> (u32, u32) {
+        let p = self as u64 * rhs as u64;
+        ((p >> 32) as u32, p as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn wmul(self, rhs: u64) -> (u64, u64) {
+        let p = self as u128 * rhs as u128;
+        ((p >> 64) as u64, p as u64)
+    }
+}
+
+impl WideningMul for usize {
+    fn wmul(self, rhs: usize) -> (usize, usize) {
+        let (h, l) = (self as u64).wmul(rhs as u64);
+        (h as usize, l as usize)
+    }
+}
+
+// Integer uniform sampling, following rand 0.8.5's `uniform_int_impl!`:
+// widening-multiply with a leading-zeros rejection zone (a modulus zone
+// for the 8/16-bit types).
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(
+                low: $ty,
+                mut high: $ty,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $ty {
+                if !inclusive {
+                    assert!(low < high, "cannot sample empty range");
+                    high -= 1;
+                }
+                assert!(low <= high, "cannot sample empty range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The full type domain: any value works.
+                    return <$ty as Standard>::sample(rng);
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    let ints_to_reject =
+                        (<$unsigned>::MAX - range as $unsigned + 1) % range as $unsigned;
+                    (<$unsigned>::MAX - ints_to_reject) as $u_large
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = <$u_large as Standard>::sample(rng);
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int!(i8, u8, u32);
+uniform_int!(i16, u16, u32);
+uniform_int!(i32, u32, u32);
+uniform_int!(i64, u64, u64);
+uniform_int!(u8, u8, u32);
+uniform_int!(u16, u16, u32);
+uniform_int!(u32, u32, u32);
+uniform_int!(u64, u64, u64);
+uniform_int!(usize, usize, usize);
+
+macro_rules! uniform_float {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(!inclusive, "inclusive float ranges are not supported by the shim");
+                assert!(low < high, "cannot sample empty range");
+                let scale = high - low;
+                loop {
+                    // A value in [1, 2): exponent 0, random mantissa.
+                    let mantissa = <$uty as Standard>::sample(rng) >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(mantissa | $exponent_bits);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_float!(f64, u64, 12, 1023u64 << 52);
+uniform_float!(f32, u32, 9, 127u32 << 23);
+
+/// The user-facing sampling interface (the subset this workspace uses).
+pub trait Rng: RngCore {
+    /// A uniform sample over `T`'s whole domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        if p == 1.0 {
+            return true;
+        }
+        // rand 0.8 Bernoulli: p scaled to the full u64 domain.
+        let p_int = (p * 2.0 * (1u64 << 63) as f64) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_and_stable_across_clones() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..100).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+        let mut c = a.clone();
+        assert_eq!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.gen::<u64>()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.gen::<u64>()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-9i64..=9);
+            assert!((-9..=9).contains(&w));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn mixed_u32_u64_consumption_is_consistent() {
+        // Exercises all three BlockRng::next_u64 paths across refills.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut acc = 0u64;
+        for i in 0..1000 {
+            if i % 3 == 0 {
+                acc ^= rng.next_u32() as u64;
+            } else {
+                acc ^= rng.next_u64();
+            }
+        }
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let mut acc2 = 0u64;
+        for i in 0..1000 {
+            if i % 3 == 0 {
+                acc2 ^= rng2.next_u32() as u64;
+            } else {
+                acc2 ^= rng2.next_u64();
+            }
+        }
+        assert_eq!(acc, acc2);
+    }
+}

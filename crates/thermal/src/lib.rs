@@ -37,7 +37,7 @@ pub use map::ThermalMap;
 pub use materials::Material;
 pub use model::{HeatSink, ModelLayer, StackModel};
 pub use power::PowerGrid;
-pub use solve::{SolveError, SolveOptions, SteadySolver, TransientSolver};
+pub use solve::{Kernel, SolveError, SolveOptions, SteadySolver, TransientSolver};
 
 /// Ambient temperature HotSpot uses by default, kelvin (45 °C).
 pub const AMBIENT_K: f64 = 318.15;

@@ -7,14 +7,42 @@
 //! ```
 //!
 //! Steady state (`dT/dt = 0`) is solved with red-black successive
-//! over-relaxation; the transient uses implicit (backward) Euler, which is
+//! over-relaxation: cells are colored by the parity of
+//! `layer + row + col`, so each cell's six stencil neighbours all carry
+//! the opposite color. A sweep relaxes all red cells, then all black
+//! cells; within one color pass every update reads only frozen
+//! opposite-color values, so the pass can be executed in parallel row
+//! strips (via [`th_exec::pool`]) with bit-identical results at any
+//! thread count. Per-cell stencil diagonals are precomputed at assembly
+//! time and interior cells take a branch-free fast path; convergence is
+//! measured every [`SolveOptions::check_every`] sweeps rather than every
+//! sweep. The transient uses implicit (backward) Euler, which is
 //! unconditionally stable even with the µm-thin d2d layers' tiny time
-//! constants, re-using the same relaxation kernel per step.
+//! constants, re-using the same relaxation kernel per step with a `C/dt`
+//! self-term.
+//!
+//! The original sequential lexicographic sweep is retained as
+//! [`Kernel::Lexicographic`] for cross-validation and benchmarking.
 
 use crate::map::ThermalMap;
 use crate::model::StackModel;
 use crate::power::PowerGrid;
 use std::fmt;
+
+/// Relaxation kernel selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Red-black SOR. Cells are colored by `(layer + row + col) & 1`;
+    /// all six neighbours of a cell have the opposite color, so each
+    /// color pass is data-parallel and its result is independent of
+    /// sweep order — parallel runs are bit-identical to sequential.
+    #[default]
+    RedBlack,
+    /// The original sequential lexicographic Gauss-Seidel/SOR sweep
+    /// (layer-major, then row, then column). Kept as a reference
+    /// implementation for property tests and benchmarks.
+    Lexicographic,
+}
 
 /// Solver configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,11 +54,22 @@ pub struct SolveOptions {
     pub tolerance_k: f64,
     /// SOR over-relaxation factor (1.0 = Gauss-Seidel).
     pub omega: f64,
+    /// Relaxation kernel.
+    pub kernel: Kernel,
+    /// Convergence is checked every `check_every` sweeps (clamped to at
+    /// least 1): the intermediate sweeps skip per-cell delta tracking.
+    pub check_every: usize,
 }
 
 impl Default for SolveOptions {
     fn default() -> SolveOptions {
-        SolveOptions { max_iters: 20_000, tolerance_k: 1e-6, omega: 1.85 }
+        SolveOptions {
+            max_iters: 20_000,
+            tolerance_k: 1e-6,
+            omega: 1.85,
+            kernel: Kernel::RedBlack,
+            check_every: 8,
+        }
     }
 }
 
@@ -72,8 +111,33 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
-/// The assembled conductance network for a [`StackModel`] at a fixed grid
-/// resolution.
+/// Shared write handle for a color pass. Lanes write disjoint cells
+/// (each lane owns a contiguous strip of `(layer, row)` lines, and
+/// within a pass only cells of the active color are written) and read
+/// only opposite-color cells frozen by the previous pass, so
+/// unsynchronised access is race-free.
+#[derive(Clone, Copy)]
+struct FieldPtr(*mut f64);
+
+// SAFETY: see the struct doc — all concurrent writes are to disjoint
+// indices and all reads are of cells no lane writes during the pass;
+// the pool's broadcast barrier orders passes.
+unsafe impl Sync for FieldPtr {}
+
+/// The assembled conductance network for a [`StackModel`] at a fixed
+/// grid resolution.
+///
+/// Assembly precomputes, per cell, the stencil diagonal (the sum of all
+/// incident conductances, including the ambient link on the sink-side
+/// layer), so relaxation sweeps multiply by a cached reciprocal instead
+/// of re-deriving boundary terms cell by cell.
+///
+/// Solves relax with red-black SOR by default: cells are colored by the
+/// parity of `layer + row + col`, each color pass runs in parallel row
+/// strips on the global [`th_exec::pool`], and convergence is checked
+/// every [`SolveOptions::check_every`] sweeps (intermediate sweeps skip
+/// residual tracking). [`Kernel::Lexicographic`] selects the sequential
+/// reference sweep instead.
 #[derive(Clone, Debug)]
 pub struct SteadySolver {
     model: StackModel,
@@ -89,6 +153,9 @@ pub struct SteadySolver {
     g_amb: f64,
     /// Heat capacity per cell, per layer (J/K).
     cap: Vec<f64>,
+    /// Per-cell steady-state stencil diagonal: the sum of all incident
+    /// conductances (transient solves add `C/dt` on top).
+    diag0: Vec<f64>,
 }
 
 impl SteadySolver {
@@ -118,7 +185,39 @@ impl SteadySolver {
         let cap: Vec<f64> =
             layers.iter().map(|l| l.material.heat_capacity * l.thickness_m * area).collect();
         let g_amb = 1.0 / (model.sink().resistance_k_per_w * (rows * cols) as f64);
-        SteadySolver { model, rows, cols, gx, gy, gz, g_amb, cap }
+
+        let n_layers = layers.len();
+        let mut diag0 = vec![0.0; n_layers * rows * cols];
+        for layer in 0..n_layers {
+            for row in 0..rows {
+                for col in 0..cols {
+                    let mut d = 0.0;
+                    if col > 0 {
+                        d += gx[layer];
+                    }
+                    if col + 1 < cols {
+                        d += gx[layer];
+                    }
+                    if row > 0 {
+                        d += gy[layer];
+                    }
+                    if row + 1 < rows {
+                        d += gy[layer];
+                    }
+                    if layer > 0 {
+                        d += gz[layer - 1];
+                    }
+                    if layer + 1 < n_layers {
+                        d += gz[layer];
+                    }
+                    if layer == 0 {
+                        d += g_amb;
+                    }
+                    diag0[(layer * rows + row) * cols + col] = d;
+                }
+            }
+        }
+        SteadySolver { model, rows, cols, gx, gy, gz, g_amb, cap, diag0 }
     }
 
     /// The underlying model.
@@ -165,12 +264,222 @@ impl SteadySolver {
         Ok(p)
     }
 
-    /// One SOR sweep; returns the maximum temperature change.
+    /// Folds the ambient link and (for transient steps) the implicit
+    /// `C/dt` self-term into a right-hand side `b` and the per-cell
+    /// reciprocal diagonal, so each red-black cell update is
+    /// `T ← T + ω (b + Σ G·T_nbr) / diag − ω T`.
+    fn assemble_system(
+        &self,
+        p: &[f64],
+        transient: Option<(f64, &[f64])>,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let ambient = self.model.sink().ambient_k;
+        let cells = self.rows * self.cols;
+        let n_layers = self.model.layers().len();
+        let mut b = p.to_vec();
+        let mut inv_diag = Vec::with_capacity(b.len());
+        for layer in 0..n_layers {
+            let dtc = transient.map_or(0.0, |(dt_s, _)| self.cap[layer] / dt_s);
+            for cell in 0..cells {
+                let i = layer * cells + cell;
+                let mut d = self.diag0[i] + dtc;
+                if let Some((_, t_old)) = transient {
+                    b[i] += dtc * t_old[i];
+                }
+                if layer == 0 {
+                    b[i] += self.g_amb * ambient;
+                }
+                debug_assert!(d > 0.0);
+                if d <= 0.0 {
+                    d = 1.0;
+                }
+                inv_diag.push(1.0 / d);
+            }
+        }
+        (b, inv_diag)
+    }
+
+    /// One red-black SOR sweep (both colors); returns the maximum
+    /// per-cell change if `track`, else 0.
     ///
-    /// `inv_dt_cap[i]` adds an implicit-Euler `C/dt` self-term anchored at
-    /// `t_old[i]` (empty slices for steady state).
+    /// Each color pass is fanned out over the global [`th_exec::pool`]
+    /// in contiguous `(layer, row)` strips. Because same-color cells
+    /// never read each other, the result is bit-identical for any strip
+    /// partitioning and thread count.
+    fn sweep_red_black(
+        &self,
+        t: &mut [f64],
+        b: &[f64],
+        inv_diag: &[f64],
+        omega: f64,
+        track: bool,
+    ) -> f64 {
+        let n_lr = self.model.layers().len() * self.rows;
+        let pool = th_exec::pool();
+        let strips = pool.threads().min(n_lr).max(1);
+        let bounds = |s: usize| (s * n_lr / strips, (s + 1) * n_lr / strips);
+        let field = FieldPtr(t.as_mut_ptr());
+        let mut max_delta = 0.0f64;
+        for color in 0..2usize {
+            if track {
+                let maxima = pool.map_indexed(strips, |s| {
+                    let (lo, hi) = bounds(s);
+                    let mut local = 0.0f64;
+                    for lr in lo..hi {
+                        // SAFETY: strips are disjoint `(layer, row)`
+                        // ranges and a pass only writes `color` cells.
+                        let d = unsafe {
+                            self.relax_line(field, b, inv_diag, omega, lr, color, true)
+                        };
+                        local = local.max(d);
+                    }
+                    local
+                });
+                for m in maxima {
+                    max_delta = max_delta.max(m);
+                }
+            } else {
+                pool.for_each_index(strips, |s| {
+                    let (lo, hi) = bounds(s);
+                    for lr in lo..hi {
+                        // SAFETY: as above.
+                        unsafe {
+                            self.relax_line(field, b, inv_diag, omega, lr, color, false);
+                        }
+                    }
+                });
+            }
+        }
+        max_delta
+    }
+
+    /// Relaxes the cells of one `(layer, row)` line that belong to
+    /// `color`. Interior lines (away from every face of the grid) take
+    /// a branch-free path using the precomputed diagonal; boundary
+    /// cells fall back to [`SteadySolver::relax_cell`].
+    ///
+    /// # Safety
+    ///
+    /// `field` must point to the full temperature vector; no other
+    /// thread may concurrently write cells of this line's color or read
+    /// cells this call writes (guaranteed by the red-black schedule).
+    unsafe fn relax_line(
+        &self,
+        field: FieldPtr,
+        b: &[f64],
+        inv_diag: &[f64],
+        omega: f64,
+        lr: usize,
+        color: usize,
+        track: bool,
+    ) -> f64 {
+        let t = field.0;
+        let rows = self.rows;
+        let cols = self.cols;
+        let cells = rows * cols;
+        let n_layers = self.model.layers().len();
+        let layer = lr / rows;
+        let row = lr % rows;
+        let base = lr * cols;
+        // Columns of this line whose `(layer+row+col)` parity is `color`.
+        let parity = (color ^ (layer + row)) & 1;
+        let mut maxd = 0.0f64;
+
+        let interior = layer > 0 && layer + 1 < n_layers && row > 0 && row + 1 < rows;
+        if interior && cols >= 3 {
+            let gx = self.gx[layer];
+            let gy = self.gy[layer];
+            let gzm = self.gz[layer - 1];
+            let gzp = self.gz[layer];
+            if parity == 0 {
+                maxd = maxd.max(self.relax_cell(t, b, inv_diag, omega, layer, row, 0, track));
+            }
+            let mut col = if parity == 1 { 1 } else { 2 };
+            while col + 1 < cols {
+                let i = base + col;
+                let num = b[i]
+                    + gx * (*t.add(i - 1) + *t.add(i + 1))
+                    + gy * (*t.add(i - cols) + *t.add(i + cols))
+                    + gzm * *t.add(i - cells)
+                    + gzp * *t.add(i + cells);
+                let old = *t.add(i);
+                let updated = old + omega * (num * inv_diag[i] - old);
+                if track {
+                    maxd = maxd.max((updated - old).abs());
+                }
+                *t.add(i) = updated;
+                col += 2;
+            }
+            if (cols - 1) & 1 == parity && cols > 1 {
+                maxd = maxd
+                    .max(self.relax_cell(t, b, inv_diag, omega, layer, row, cols - 1, track));
+            }
+        } else {
+            let mut col = parity;
+            while col < cols {
+                maxd = maxd.max(self.relax_cell(t, b, inv_diag, omega, layer, row, col, track));
+                col += 2;
+            }
+        }
+        maxd
+    }
+
+    /// Relaxes one cell through the general (boundary-aware) stencil;
+    /// returns the absolute change if `track`, else 0.
+    ///
+    /// # Safety
+    ///
+    /// Same aliasing contract as [`SteadySolver::relax_line`].
     #[allow(clippy::too_many_arguments)]
-    fn sweep(
+    unsafe fn relax_cell(
+        &self,
+        t: *mut f64,
+        b: &[f64],
+        inv_diag: &[f64],
+        omega: f64,
+        layer: usize,
+        row: usize,
+        col: usize,
+        track: bool,
+    ) -> f64 {
+        let cells = self.rows * self.cols;
+        let n_layers = self.model.layers().len();
+        let i = (layer * self.rows + row) * self.cols + col;
+        let mut num = b[i];
+        if col > 0 {
+            num += self.gx[layer] * *t.add(i - 1);
+        }
+        if col + 1 < self.cols {
+            num += self.gx[layer] * *t.add(i + 1);
+        }
+        if row > 0 {
+            num += self.gy[layer] * *t.add(i - self.cols);
+        }
+        if row + 1 < self.rows {
+            num += self.gy[layer] * *t.add(i + self.cols);
+        }
+        if layer > 0 {
+            num += self.gz[layer - 1] * *t.add(i - cells);
+        }
+        if layer + 1 < n_layers {
+            num += self.gz[layer] * *t.add(i + cells);
+        }
+        let old = *t.add(i);
+        let updated = old + omega * (num * inv_diag[i] - old);
+        *t.add(i) = updated;
+        if track {
+            (updated - old).abs()
+        } else {
+            0.0
+        }
+    }
+
+    /// One lexicographic SOR sweep; returns the maximum temperature
+    /// change. This is the original sequential reference kernel.
+    ///
+    /// `dt_cap[i]` adds an implicit-Euler `C/dt` self-term anchored at
+    /// `t_old[i]` (empty slices for steady state).
+    fn sweep_lexicographic(
         &self,
         t: &mut [f64],
         p: &[f64],
@@ -231,6 +540,65 @@ impl SteadySolver {
         max_delta
     }
 
+    /// Relaxes `t` in place until the per-sweep residual drops below
+    /// tolerance, checking every `options.check_every` sweeps.
+    fn relax_to_convergence(
+        &self,
+        t: &mut [f64],
+        p: &[f64],
+        transient: Option<(f64, &[f64])>,
+        options: &SolveOptions,
+    ) -> Result<(), SolveError> {
+        let check_every = options.check_every.max(1);
+        let mut residual = f64::INFINITY;
+        match options.kernel {
+            Kernel::RedBlack => {
+                let (b, inv_diag) = self.assemble_system(p, transient);
+                let mut done = 0;
+                while done < options.max_iters {
+                    let block = check_every.min(options.max_iters - done);
+                    for _ in 0..block - 1 {
+                        self.sweep_red_black(t, &b, &inv_diag, options.omega, false);
+                    }
+                    residual = self.sweep_red_black(t, &b, &inv_diag, options.omega, true);
+                    done += block;
+                    if residual < options.tolerance_k {
+                        return Ok(());
+                    }
+                }
+            }
+            Kernel::Lexicographic => {
+                let dt_cap: Vec<f64> = match transient {
+                    Some((dt_s, _)) => {
+                        let cells = self.rows * self.cols;
+                        let mut v = vec![0.0; p.len()];
+                        for (layer, cap) in self.cap.iter().enumerate() {
+                            for c in v[layer * cells..(layer + 1) * cells].iter_mut() {
+                                *c = cap / dt_s;
+                            }
+                        }
+                        v
+                    }
+                    None => Vec::new(),
+                };
+                let t_old: &[f64] = transient.map_or(&[], |(_, old)| old);
+                let mut done = 0;
+                while done < options.max_iters {
+                    let block = check_every.min(options.max_iters - done);
+                    for _ in 0..block {
+                        residual =
+                            self.sweep_lexicographic(t, p, options.omega, &dt_cap, t_old);
+                    }
+                    done += block;
+                    if residual < options.tolerance_k {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Err(SolveError::NotConverged(residual))
+    }
+
     /// Solves for the steady-state temperature field.
     ///
     /// # Errors
@@ -247,14 +615,8 @@ impl SteadySolver {
         // Warm start at the bulk estimate: ambient plus sink rise.
         let start = ambient + total_power * self.model.sink().resistance_k_per_w;
         let mut t = vec![start; p.len()];
-        let mut residual = f64::INFINITY;
-        for _ in 0..options.max_iters {
-            residual = self.sweep(&mut t, &p, options.omega, &[], &[]);
-            if residual < options.tolerance_k {
-                return Ok(self.wrap(t));
-            }
-        }
-        Err(SolveError::NotConverged(residual))
+        self.relax_to_convergence(&mut t, &p, None, options)?;
+        Ok(self.wrap(t))
     }
 
     fn wrap(&self, temps: Vec<f64>) -> ThermalMap {
@@ -334,25 +696,10 @@ impl TransientSolver {
         options: &SolveOptions,
     ) -> Result<(), SolveError> {
         let p = self.solver.assemble_power(power)?;
-        let n_layers = self.solver.model.layers().len();
-        let cells = self.solver.rows * self.solver.cols;
-        // C/dt per cell.
-        let mut dt_cap = vec![0.0; p.len()];
-        for layer in 0..n_layers {
-            for i in 0..cells {
-                dt_cap[layer * cells + i] = self.solver.cap[layer] / dt_s;
-            }
-        }
         let t_old = self.t.clone();
-        let mut residual = f64::INFINITY;
-        for _ in 0..options.max_iters {
-            residual = self.solver.sweep(&mut self.t, &p, options.omega, &dt_cap, &t_old);
-            if residual < options.tolerance_k {
-                self.elapsed_s += dt_s;
-                return Ok(());
-            }
-        }
-        Err(SolveError::NotConverged(residual))
+        self.solver.relax_to_convergence(&mut self.t, &p, Some((dt_s, &t_old)), options)?;
+        self.elapsed_s += dt_s;
+        Ok(())
     }
 
     /// The current temperature field.
@@ -471,6 +818,24 @@ mod tests {
         let t16 = peak(16);
         let t24 = peak(24);
         assert!((t16 - t24).abs() < 0.5, "refinement gap {} K", (t16 - t24).abs());
+    }
+
+    #[test]
+    fn red_black_matches_lexicographic_reference() {
+        // Both kernels must land on the same fixed point of the same
+        // linear system, well within the convergence tolerance.
+        let rows = 12;
+        let cols = 10;
+        let solver = SteadySolver::new(slab_model(0.25), rows, cols);
+        let mut p = PowerGrid::new(rows, cols, 0.01, 0.01);
+        p.paint_rect(0.001, 0.002, 0.007, 0.009, 42.0);
+        let rb = SolveOptions { kernel: Kernel::RedBlack, ..SolveOptions::default() };
+        let lex = SolveOptions { kernel: Kernel::Lexicographic, ..SolveOptions::default() };
+        let map_rb = solver.solve_steady(std::slice::from_ref(&p), &rb).unwrap();
+        let map_lex = solver.solve_steady(&[p], &lex).unwrap();
+        for (a, b) in map_rb.temps().iter().zip(map_lex.temps()) {
+            assert!((a - b).abs() < 1e-3, "kernels disagree: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Property test: the red-black SOR kernel and the lexicographic
+//! reference kernel solve the same linear system, so on random slab
+//! models and random power maps they must converge to the same
+//! steady-state field (both stop at a 1e-6 K per-sweep residual; the
+//! fixed point is unique because the system is strictly diagonally
+//! dominant).
+
+use proptest::prelude::*;
+use th_thermal::{
+    HeatSink, Kernel, Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver,
+};
+
+fn random_model(passive_layers: usize, r_sink: f64) -> StackModel {
+    let mut layers = Vec::new();
+    for _ in 0..passive_layers {
+        layers.push(ModelLayer::passive(300e-6, Material::SILICON));
+    }
+    layers.push(ModelLayer::active(2e-6, Material::SILICON, 0));
+    StackModel::new(
+        0.01,
+        0.01,
+        layers,
+        HeatSink { resistance_k_per_w: r_sink, ambient_k: 300.0 },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn red_black_and_lexicographic_agree(
+        rows in 3usize..12,
+        cols in 3usize..12,
+        passive_layers in 1usize..4,
+        r_sink in 0.1f64..0.5,
+        rects in proptest::collection::vec(
+            (0.0f64..0.8, 0.0f64..0.8, 0.1f64..1.0, 0.1f64..1.0, 1.0f64..40.0),
+            1..4
+        )
+    ) {
+        let solver = SteadySolver::new(random_model(passive_layers, r_sink), rows, cols);
+        let mut p = PowerGrid::new(rows, cols, 0.01, 0.01);
+        for &(x0, y0, wx, wy, watts) in &rects {
+            let x1 = (x0 + wx).min(1.0);
+            let y1 = (y0 + wy).min(1.0);
+            p.paint_rect(x0 * 0.01, y0 * 0.01, x1 * 0.01, y1 * 0.01, watts);
+        }
+
+        let rb_opts = SolveOptions { kernel: Kernel::RedBlack, ..SolveOptions::default() };
+        let lex_opts = SolveOptions { kernel: Kernel::Lexicographic, ..SolveOptions::default() };
+        let map_rb = solver.solve_steady(std::slice::from_ref(&p), &rb_opts).unwrap();
+        let map_lex = solver.solve_steady(&[p], &lex_opts).unwrap();
+
+        for (i, (a, b)) in map_rb.temps().iter().zip(map_lex.temps()).enumerate() {
+            prop_assert!(
+                (a - b).abs() < 1e-3,
+                "kernels disagree at cell {i}: red-black {a} vs lexicographic {b} \
+                 ({rows}x{cols}, {passive_layers}+1 layers)"
+            );
+        }
+    }
+}
