@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a bench smoke pass.
+# Tier-1 verification plus a bench smoke pass and a perf-regression guard.
 #
-#   ./ci.sh            build + test + bench smoke
+#   ./ci.sh            build + test + bench smoke + perf guard
 #   TH_THREADS=4 ./ci.sh   same, with the execution layer at 4 lanes
 #
 # TH_BENCH_FAST=1 shrinks the Criterion warm-up/measurement budgets so
@@ -12,9 +12,31 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q --release
 
-# Bench smoke: the thermal kernel comparison and the pipeline report at a
-# tiny instruction budget, just to prove both run end to end.
+# Bench smoke: the thermal kernel comparison, just to prove it runs end
+# to end.
 TH_BENCH_FAST=1 cargo bench -p th-bench --bench thermal_sweep
-cargo run --release -p th-bench --bin bench_report -- 8000 10
+
+# Perf-regression guard: rerun bench_report at the committed report's own
+# budget in a scratch directory (so the repo's BENCH_pipeline.json is
+# never dirtied) and compare the fig8 sequential time against the
+# committed number. Wall-clock on shared CI hosts is noisy, so only a
+# >1.5x slowdown fails; faster is always fine.
+committed=BENCH_pipeline.json
+budget=$(grep -o '"budget_insts": *[0-9]*' "$committed" | grep -o '[0-9]*')
+rows=$(grep -o '"fig10_rows": *[0-9]*' "$committed" | grep -o '[0-9]*')
+guard_dir=$(mktemp -d)
+trap 'rm -rf "$guard_dir"' EXIT
+bench_bin=$PWD/target/release/bench_report
+(cd "$guard_dir" && TH_THREADS=1 "$bench_bin" "$budget" "$rows")
+old=$(grep -o '"name": "fig8", "seq_s": *[0-9.]*' "$committed" | grep -o '[0-9.]*$')
+new=$(grep -o '"name": "fig8", "seq_s": *[0-9.]*' "$guard_dir/BENCH_pipeline.json" | grep -o '[0-9.]*$')
+if ! awk -v old="$old" -v new="$new" 'BEGIN {
+    ratio = new / old
+    printf "perf guard: fig8 seq %.2fs fresh vs %.2fs committed (%.2fx)\n", new, old, ratio
+    exit ratio > 1.5 ? 1 : 0
+}'; then
+    echo "ci.sh: FAIL - fig8 sequential time regressed more than 1.5x" >&2
+    exit 1
+fi
 
 echo "ci.sh: all checks passed"

@@ -15,6 +15,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use th_exec::Pool;
+use th_sim::{set_default_engine, CoreEngine};
 use th_thermal::{
     Kernel, Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver,
 };
@@ -96,8 +97,16 @@ fn main() {
     for (i, (name, runner)) in experiments.iter().enumerate() {
         eprintln!("timing {name} at 1 thread...");
         let seq_s = time_s(|| runner(&seq));
-        eprintln!("timing {name} at {par_threads} threads...");
-        let par_s = time_s(|| runner(&par));
+        let par_s = if par_threads == 1 {
+            // One lane: the parallel pool *is* the sequential pool, so
+            // re-timing it would only report scheduling noise as a
+            // "regression". Reuse the sequential measurement.
+            eprintln!("{name}: 1 thread requested, reusing the sequential timing");
+            seq_s
+        } else {
+            eprintln!("timing {name} at {par_threads} threads...");
+            time_s(|| runner(&par))
+        };
         let speedup = seq_s / par_s;
         println!(
             "{name:>6}: {seq_s:8.2} s sequential, {par_s:8.2} s at {par_threads} threads \
@@ -112,6 +121,29 @@ fn main() {
         .unwrap();
     }
     writeln!(json, "  ],").unwrap();
+
+    // Engine A/B: the same fig8 sweep, same budget, one thread, under the
+    // legacy per-cycle scan engine and the event-driven engine. The two
+    // produce identical statistics (enforced by the equivalence tests);
+    // this block records how much wall-clock the event core saves.
+    eprintln!("timing fig8 under the scan engine...");
+    set_default_engine(Some(CoreEngine::Scan));
+    let scan_s = time_s(|| fig8::run_with_pool(budget, &seq));
+    eprintln!("timing fig8 under the event engine...");
+    set_default_engine(Some(CoreEngine::Event));
+    let event_s = time_s(|| fig8::run_with_pool(budget, &seq));
+    set_default_engine(None);
+    println!(
+        "engine: fig8 scan {scan_s:.2} s, event {event_s:.2} s ({:.2}x)",
+        scan_s / event_s
+    );
+    writeln!(
+        json,
+        "  \"engine\": {{\"experiment\": \"fig8\", \"scan_s\": {scan_s:.4}, \
+         \"event_s\": {event_s:.4}, \"speedup\": {:.4}}},",
+        scan_s / event_s
+    )
+    .unwrap();
 
     eprintln!("timing thermal solve kernels at 64x64x9...");
     let scalar_s = thermal_solve_s(Kernel::Lexicographic, 64);

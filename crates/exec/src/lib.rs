@@ -204,7 +204,10 @@ impl Pool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if self.threads == 1 || n <= 1 {
+        if self.threads == 1 || n <= 1 || IN_JOB.with(|flag| flag.get()) {
+            // Sequential pool, trivial fan-out, or nested inside a pool
+            // job (which would run inline anyway): skip the slot vector
+            // and the shared claim counter entirely.
             return (0..n).map(f).collect();
         }
         struct Slots<R>(Vec<UnsafeCell<Option<R>>>);
@@ -236,7 +239,7 @@ impl Pool {
     where
         F: Fn(usize) + Sync,
     {
-        if self.threads == 1 || n <= 1 {
+        if self.threads == 1 || n <= 1 || IN_JOB.with(|flag| flag.get()) {
             for i in 0..n {
                 f(i);
             }
@@ -386,6 +389,22 @@ mod tests {
         assert!(result.is_err());
         // The pool must still be usable after a panicked job.
         assert_eq!(pool.map_indexed(3, |i| i * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline() {
+        // A fan-out from inside a pool job must complete inline on the
+        // calling lane (re-entering the pool would deadlock on the gate).
+        let pool = Pool::new(4);
+        let outer = pool.map_indexed(4, |i| {
+            let tid = std::thread::current().id();
+            let inner = pool.map_indexed(3, |j| {
+                assert_eq!(std::thread::current().id(), tid);
+                i * 10 + j
+            });
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(outer, vec![3, 33, 63, 93]);
     }
 
     #[test]

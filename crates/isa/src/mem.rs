@@ -73,13 +73,16 @@ impl Memory {
     }
 
     fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        if (addr & PAGE_MASK) as usize + bytes.len() <= PAGE_SIZE {
+        // Copy page-sized runs; a large segment (workload data images run
+        // to megabytes) must not degrade to per-byte page lookups.
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
             let off = (addr & PAGE_MASK) as usize;
-            self.page_mut(addr)[off..off + bytes.len()].copy_from_slice(bytes);
-            return;
-        }
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u64), b);
+            let n = (PAGE_SIZE - off).min(rest.len());
+            self.page_mut(addr)[off..off + n].copy_from_slice(&rest[..n]);
+            addr = addr.wrapping_add(n as u64);
+            rest = &rest[n..];
         }
     }
 
@@ -179,6 +182,16 @@ mod tests {
         m.write_slice(100, &[1, 2, 3, 4, 5]);
         assert_eq!(m.read_vec(100, 5), vec![1, 2, 3, 4, 5]);
         assert_eq!(m.read_vec(98, 3), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn multi_page_slice_roundtrips() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..3 * PAGE_SIZE + 100).map(|i| (i % 251) as u8).collect();
+        let base = PAGE_SIZE as u64 - 7; // straddle the first boundary
+        m.write_slice(base, &data);
+        assert_eq!(m.read_vec(base, data.len()), data);
+        assert_eq!(m.page_count(), 5);
     }
 
     proptest! {

@@ -1,17 +1,28 @@
 //! The out-of-order pipeline: fetch → dispatch → issue/execute → commit.
 //!
-//! Cycle ordering within the loop is commit, completion scan, issue,
+//! Cycle ordering within the loop is commit, completion processing, issue,
 //! dispatch, fetch — so a result completing in cycle *c* can wake a
 //! dependant that issues in cycle *c* (modelling the bypass network), and
 //! a slot freed at commit is reusable the same cycle.
+//!
+//! Two interchangeable engines drive the loop (see
+//! [`crate::CoreEngine`]). `Scan` walks the whole ROB every cycle.
+//! `Event` replaces the walks with a completion-event heap, per-producer
+//! wakeup lists, an explicit ready queue ordered by age, and idle-cycle
+//! skipping: when no stage can make progress before cycle *T* it jumps
+//! `cycle` straight to *T*, batch-charging the per-cycle stall statistics
+//! for the skipped window. Both engines must produce bit-identical
+//! [`SimStats`]; `engine_equivalence` tests and a golden fixture lock the
+//! invariant in.
 
 use crate::branch::{BranchPredictor, Btb, ReturnStack};
 use crate::cache::{CacheKind, MemoryHierarchy};
-use crate::config::SimConfig;
+use crate::config::{CoreEngine, SimConfig};
 use crate::lsq::{LoadSearch, Lsq};
 use crate::scheduler::{AllocPolicy, Scheduler};
 use crate::stats::SimStats;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use th_isa::{DynInst, FuClass, Machine, Op, OpClass, Program, Trap};
 use th_width::{
     PartialAddressMemoizer, UpperEncoding, Width, WidthMemoFile, WidthPredictor,
@@ -70,6 +81,11 @@ struct Slot {
     unsafe_out: bool,
     /// Set once writeback statistics have been recorded.
     wrote_back: bool,
+    /// Event engine: number of unresolved source operands.
+    deps: u8,
+    /// Event engine: the completion event has fired, so the result is
+    /// visible to consumers (equivalent to `Done && complete_at <= cycle`).
+    visible: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -79,6 +95,66 @@ struct FetchedInst {
     mispredicted: bool,
     /// The one-per-group register-read width stall has been applied.
     rf_charged: bool,
+}
+
+/// Event engine: per-producer wakeup lists keyed by sequence number on a
+/// power-of-two ring. The ring spans one full ROB plus a commit group, so
+/// the sequence numbers live at any instant (in-flight producers, plus
+/// producers committed earlier in the cycle whose completion event fires
+/// this cycle) can never collide.
+#[derive(Clone, Debug)]
+struct WaiterTable {
+    ring: Vec<Vec<u64>>,
+    mask: u64,
+}
+
+/// Per-cycle free functional-unit budget, reset at every issue stage.
+struct FuFree {
+    alu: usize,
+    shift: usize,
+    mul: usize,
+    fp_add: usize,
+    fp_mul: usize,
+    fp_div: usize,
+    st_ports: usize,
+    ld_ports: usize,
+}
+
+impl FuFree {
+    fn new(core: &crate::config::CoreParams) -> FuFree {
+        FuFree {
+            alu: core.int_alu,
+            shift: core.int_shift,
+            mul: core.int_mul,
+            fp_add: core.fp_add,
+            fp_mul: core.fp_mul,
+            fp_div: core.fp_div,
+            st_ports: core.mem_ports,
+            ld_ports: core.mem_ports + core.load_only_ports,
+        }
+    }
+}
+
+impl WaiterTable {
+    fn new(rob_size: usize, commit_width: usize) -> WaiterTable {
+        let cap = (rob_size + commit_width + 1).next_power_of_two();
+        WaiterTable { ring: vec![Vec::new(); cap], mask: cap as u64 - 1 }
+    }
+
+    fn add(&mut self, producer: u64, consumer: u64) {
+        self.ring[(producer & self.mask) as usize].push(consumer);
+    }
+
+    /// Takes the wakeup list for `producer`; return the (cleared) vector
+    /// with [`WaiterTable::put_back`] to recycle its allocation.
+    fn take(&mut self, producer: u64) -> Vec<u64> {
+        std::mem::take(&mut self.ring[(producer & self.mask) as usize])
+    }
+
+    fn put_back(&mut self, producer: u64, mut list: Vec<u64>) {
+        list.clear();
+        self.ring[(producer & self.mask) as usize] = list;
+    }
 }
 
 /// The simulator: configure once, run programs.
@@ -164,6 +240,19 @@ struct Core<'a> {
     /// Non-pipelined units.
     int_div_busy_until: u64,
     fp_div_busy_until: u64,
+    /// IFQ entries with `dispatch_ready_at <= cycle`. Front-end depth is
+    /// constant, so matured entries always form a queue prefix and the
+    /// count replaces the per-cycle `iter().filter().count()`.
+    ifq_matured: usize,
+    /// Event engine: pending completion events as `(cycle, seq)` min-heap.
+    ev_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Event engine: waiting slots whose operands are all resolved,
+    /// ordered oldest-first (matching the scan engine's issue priority).
+    ev_ready: BTreeSet<u64>,
+    /// Event engine: who to wake when a producer's result becomes visible.
+    ev_waiters: WaiterTable,
+    /// Reused snapshot buffer for the issue stage.
+    ready_scratch: Vec<u64>,
 }
 
 impl<'a> Core<'a> {
@@ -197,17 +286,28 @@ impl<'a> Core<'a> {
             fetch_done: false,
             int_div_busy_until: 0,
             fp_div_busy_until: 0,
+            ifq_matured: 0,
+            ev_heap: BinaryHeap::new(),
+            ev_ready: BTreeSet::new(),
+            ev_waiters: WaiterTable::new(cfg.core.rob_size, cfg.core.commit_width),
+            ready_scratch: Vec::new(),
         }
     }
 
     fn run(mut self, warmup_insts: u64, max_insts: u64) -> Result<SimResult, Trap> {
+        let event = self.cfg.engine == CoreEngine::Event;
         let mut last_commit_cycle = 0u64;
         let mut warmup_snapshot: Option<SimStats> = None;
         while self.stats.committed < max_insts {
             let committed_before = self.stats.committed;
             self.commit();
-            self.scan_completions();
-            self.issue();
+            if event {
+                self.process_events();
+                self.issue_event();
+            } else {
+                self.scan_completions();
+                self.issue();
+            }
             self.dispatch();
             self.fetch()?;
             if self.stats.committed > committed_before {
@@ -232,7 +332,11 @@ impl<'a> Core<'a> {
                 self.rob.len(),
                 self.ifq.len()
             );
-            self.cycle += 1;
+            if event && self.stats.committed < max_insts {
+                self.cycle = self.next_cycle(last_commit_cycle);
+            } else {
+                self.cycle += 1;
+            }
         }
         self.stats.cycles = self.cycle.max(1);
         self.stats.width_pred = *self.width_pred.stats();
@@ -260,9 +364,12 @@ impl<'a> Core<'a> {
         // The IFQ holds instructions that have cleared the front-end pipe
         // but not yet dispatched; instructions still flowing through the
         // fetch/decode/rename stages occupy pipe latches, not IFQ slots.
-        let ifq_occupancy =
-            self.ifq.iter().filter(|f| f.dispatch_ready_at <= self.cycle).count();
-        if ifq_occupancy + self.cfg.core.fetch_width > self.cfg.core.ifq_size {
+        // `ifq_matured` was brought up to date by dispatch this cycle.
+        debug_assert_eq!(
+            self.ifq_matured,
+            self.ifq.iter().filter(|f| f.dispatch_ready_at <= self.cycle).count()
+        );
+        if self.ifq_matured + self.cfg.core.fetch_width > self.cfg.core.ifq_size {
             self.stats.ifq_full_stalls += 1;
             return Ok(());
         }
@@ -451,27 +558,41 @@ impl<'a> Core<'a> {
         self.cfg.herding.policy.classify(v)
     }
 
+    /// Whether the register-read group at the IFQ head would take the §3.1
+    /// one-cycle unsafe-width stall if dispatch ran at `cycle`.
+    fn dispatch_group_would_stall(&self, cycle: u64) -> bool {
+        let group_end = self.cfg.core.decode_width.min(self.ifq.len());
+        for f in self.ifq.iter().take(group_end) {
+            if f.dispatch_ready_at > cycle {
+                break;
+            }
+            if !f.rf_charged && Self::width_predicted(f.di.inst.op) {
+                let pred = self.width_pred.peek(f.di.pc);
+                let in_width = self.operand_width(&f.di);
+                if pred == Width::Low && in_width == Width::Full {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     fn dispatch(&mut self) {
         let herding = self.cfg.herding.enabled;
+
+        // Matured IFQ entries form a prefix (constant front-end depth);
+        // advance the cursor once per cycle, before any pops.
+        while self.ifq_matured < self.ifq.len()
+            && self.ifq[self.ifq_matured].dispatch_ready_at <= self.cycle
+        {
+            self.ifq_matured += 1;
+        }
 
         // §3.1: one unsafe operand-width misprediction stalls the whole
         // register-read group for one cycle (at most one stall per group).
         if herding {
             let group_end = self.cfg.core.decode_width.min(self.ifq.len());
-            let mut must_stall = false;
-            for f in self.ifq.iter().take(group_end) {
-                if f.dispatch_ready_at > self.cycle {
-                    break;
-                }
-                if !f.rf_charged && Self::width_predicted(f.di.inst.op) {
-                    let pred = self.width_pred.peek(f.di.pc);
-                    let in_width = self.operand_width(&f.di);
-                    if pred == Width::Low && in_width == Width::Full {
-                        must_stall = true;
-                    }
-                }
-            }
-            if must_stall {
+            if self.dispatch_group_would_stall(self.cycle) {
                 // §3.1: the group stalls exactly one cycle regardless of
                 // how many of its instructions mispredicted.
                 for f in self.ifq.iter_mut().take(group_end) {
@@ -513,6 +634,8 @@ impl<'a> Core<'a> {
             }
 
             let f = self.ifq.pop_front().expect("front checked");
+            debug_assert!(self.ifq_matured > 0, "popped an unmatured IFQ entry");
+            self.ifq_matured -= 1;
             let di = f.di;
             self.stats.dispatched += 1;
             self.stats.rename_ops += 1;
@@ -611,7 +734,34 @@ impl<'a> Core<'a> {
                 unsafe_in,
                 unsafe_out,
                 wrote_back: !needs_rs,
+                deps: 0,
+                visible: false,
             });
+
+            if self.cfg.engine == CoreEngine::Event {
+                // Wakeup bookkeeping: count unresolved producers and park
+                // on their wakeup lists; resolved slots go straight to the
+                // ready queue. No-FU slots complete unconditionally one
+                // cycle later — their event also marks them visible.
+                let mut deps = 0u8;
+                for src in src_seq.into_iter().flatten() {
+                    debug_assert!(src >= self.rob_head_seq, "renamed to a committed producer");
+                    let pidx = (src - self.rob_head_seq) as usize;
+                    if !self.rob[pidx].visible {
+                        deps += 1;
+                        self.ev_waiters.add(src, di.seq);
+                    }
+                }
+                let slot = self.rob.back_mut().expect("just pushed");
+                slot.deps = deps;
+                if needs_rs {
+                    if deps == 0 {
+                        self.ev_ready.insert(di.seq);
+                    }
+                } else {
+                    self.ev_heap.push(Reverse((complete_at, di.seq)));
+                }
+            }
         }
     }
 
@@ -689,26 +839,10 @@ impl<'a> Core<'a> {
     }
 
     fn issue(&mut self) {
-        // Residency accounting: every occupied RS entry burns on its die
-        // for this cycle.
-        for (die, occ) in self.scheduler.occupancy().into_iter().enumerate() {
-            self.stats.rs_occupancy_cycles_per_die[die] += occ as u64;
-        }
+        self.charge_rs_occupancy();
 
         let mut issued = 0usize;
-        let mut alu_free = self.cfg.core.int_alu;
-        let mut shift_free = self.cfg.core.int_shift;
-        let mut mul_free = self.cfg.core.int_mul;
-        let mut fpadd_free = self.cfg.core.fp_add;
-        let mut fpmul_free = self.cfg.core.fp_mul;
-        let mut fpdiv_free = self.cfg.core.fp_div;
-        let mut st_ports = self.cfg.core.mem_ports;
-        let mut ld_ports = self.cfg.core.mem_ports + self.cfg.core.load_only_ports;
-
-        let lat = self.cfg.lat;
-        let herding = self.cfg.herding.enabled;
-        let cycle = self.cycle;
-
+        let mut free = FuFree::new(&self.cfg.core);
         for idx in 0..self.rob.len() {
             if issued >= self.cfg.core.issue_width {
                 break;
@@ -720,201 +854,251 @@ impl<'a> Core<'a> {
             if !self.src_ready(slot.src_seq[0]) || !self.src_ready(slot.src_seq[1]) {
                 continue;
             }
+            if self.try_issue_slot(idx, &mut free) {
+                issued += 1;
+            }
+        }
+    }
+
+    /// Event-engine issue: walk only the ready queue, oldest first (the
+    /// same priority order as the scan over the ROB).
+    fn issue_event(&mut self) {
+        self.charge_rs_occupancy();
+
+        let mut issued = 0usize;
+        let mut free = FuFree::new(&self.cfg.core);
+        let mut candidates = std::mem::take(&mut self.ready_scratch);
+        candidates.clear();
+        candidates.extend(self.ev_ready.iter().copied());
+        for &seq in &candidates {
+            if issued >= self.cfg.core.issue_width {
+                break;
+            }
+            let idx = (seq - self.rob_head_seq) as usize;
+            debug_assert_eq!(self.rob[idx].state, SlotState::Waiting);
+            if self.try_issue_slot(idx, &mut free) {
+                issued += 1;
+                self.ev_ready.remove(&seq);
+                self.ev_heap.push(Reverse((self.rob[idx].complete_at, seq)));
+            }
+        }
+        self.ready_scratch = candidates;
+    }
+
+    /// Residency accounting: every occupied RS entry burns on its die for
+    /// this cycle.
+    fn charge_rs_occupancy(&mut self) {
+        for (die, occ) in self.scheduler.occupancy().into_iter().enumerate() {
+            self.stats.rs_occupancy_cycles_per_die[die] += occ as u64;
+        }
+    }
+
+    /// Tries to issue the waiting, operand-ready slot at `idx` against the
+    /// remaining per-cycle FU budget. Returns whether it issued; on `true`
+    /// the slot is `Issued` with its `complete_at` fixed.
+    fn try_issue_slot(&mut self, idx: usize, free: &mut FuFree) -> bool {
+        let lat = self.cfg.lat;
+        let herding = self.cfg.herding.enabled;
+        let cycle = self.cycle;
+
+        {
             let slot = &self.rob[idx];
             let op = slot.di.inst.op;
             let fu = op.fu_class();
 
             // Functional-unit availability.
             let fu_ok = match fu {
-                FuClass::IntAlu => alu_free > 0,
-                FuClass::IntShift => shift_free > 0,
+                FuClass::IntAlu => free.alu > 0,
+                FuClass::IntShift => free.shift > 0,
                 FuClass::IntMul => {
-                    mul_free > 0
+                    free.mul > 0
                         && (!matches!(op, Op::Div | Op::Rem) || self.int_div_busy_until <= cycle)
                 }
-                FuClass::FpAdd => fpadd_free > 0,
-                FuClass::FpMul => fpmul_free > 0,
-                FuClass::FpDiv => fpdiv_free > 0 && self.fp_div_busy_until <= cycle,
+                FuClass::FpAdd => free.fp_add > 0,
+                FuClass::FpMul => free.fp_mul > 0,
+                FuClass::FpDiv => free.fp_div > 0 && self.fp_div_busy_until <= cycle,
                 FuClass::Mem => {
                     if op.class() == OpClass::Store {
-                        st_ports > 0
+                        free.st_ports > 0
                     } else {
-                        ld_ports > 0
+                        free.ld_ports > 0
                     }
                 }
                 FuClass::None => true,
             };
             if !fu_ok {
-                continue;
+                return false;
             }
-
-            // Memory ordering for loads.
-            let mut load_plan: Option<(u64, bool)> = None; // (complete_at, forwarded)
-            if op.class() == OpClass::Load {
-                let ea = self.rob[idx].di.ea.expect("loads have addresses");
-                let size = op.mem_size().unwrap() as u64;
-                match self.lsq.search_for_load(self.rob[idx].di.seq, ea, size) {
-                    LoadSearch::Forward(data_ready) => {
-                        if data_ready == u64::MAX {
-                            continue; // producing store has not executed yet
-                        }
-                        let done = (cycle + lat.agu).max(data_ready) + 1;
-                        load_plan = Some((done, true));
-                    }
-                    LoadSearch::PartialOverlap(data_ready) => {
-                        if data_ready == u64::MAX {
-                            continue;
-                        }
-                        // Replay after the store's data is available, then
-                        // access the cache.
-                        let start = (cycle + lat.agu).max(data_ready);
-                        let mem = self.hierarchy.data_access(ea, false);
-                        self.record_dcache_access(idx, ea, &mem, false);
-                        load_plan = Some((start + mem.cycles, false));
-                    }
-                    LoadSearch::Cache => {
-                        let ea = self.rob[idx].di.ea.unwrap();
-                        let mem = self.hierarchy.data_access(ea, false);
-                        self.record_dcache_access(idx, ea, &mem, false);
-                        load_plan = Some((cycle + lat.agu + mem.cycles, false));
-                    }
-                }
-            }
-
-            // Latency.
-            let slot = &self.rob[idx];
-            let base_latency = match op.fu_class() {
-                FuClass::IntAlu => lat.int_alu,
-                FuClass::IntShift => lat.int_shift,
-                FuClass::IntMul => {
-                    if matches!(op, Op::Div | Op::Rem) {
-                        lat.int_div
-                    } else {
-                        lat.int_mul
-                    }
-                }
-                FuClass::FpAdd => lat.fp_add,
-                FuClass::FpMul => lat.fp_mul,
-                FuClass::FpDiv => {
-                    if op == Op::Fsqrt {
-                        lat.fp_sqrt
-                    } else {
-                        lat.fp_div
-                    }
-                }
-                FuClass::Mem => lat.agu,
-                FuClass::None => 1,
-            };
-
-            let mut complete_at = match load_plan {
-                Some((done, _)) => done,
-                None => cycle + base_latency,
-            };
-
-            // Width-misprediction execution penalties.
-            let (slot_di, slot_unsafe_in, slot_unsafe_out, slot_pred_width) =
-                (slot.di, slot.unsafe_in, slot.unsafe_out, slot.pred_width);
-            if herding {
-                if slot_unsafe_in
-                    && matches!(op.class(), OpClass::IntAlu | OpClass::IntMul)
-                {
-                    // §3.2: one cycle to re-enable the upper 48 bits.
-                    complete_at += 1;
-                    self.stats.exec_reenable_stalls += 1;
-                }
-                if slot_unsafe_out {
-                    // §3.2: output width misprediction forces re-execution.
-                    complete_at += base_latency;
-                    self.stats.output_width_replays += 1;
-                }
-                if op.class() == OpClass::Load
-                    && slot_pred_width == Width::Low
-                    && !self.load_serviced_from_top_die(&slot_di)
-                {
-                    // §3.6: stall the cache pipeline one cycle; the tag
-                    // match already identified the way holding the upper
-                    // bits.
-                    complete_at += 1;
-                    self.stats.dcache_width_stalls += 1;
-                }
-            }
-
-            // FP loads may pay the extra routing cycle (§3.8).
-            if op == Op::Fld && self.cfg.pipeline.fp_load_extra_cycle {
-                complete_at += 1;
-            }
-
-            // Commit FU reservations.
-            match fu {
-                FuClass::IntAlu => alu_free -= 1,
-                FuClass::IntShift => shift_free -= 1,
-                FuClass::IntMul => {
-                    mul_free -= 1;
-                    if matches!(op, Op::Div | Op::Rem) {
-                        self.int_div_busy_until = complete_at;
-                    }
-                }
-                FuClass::FpAdd => fpadd_free -= 1,
-                FuClass::FpMul => fpmul_free -= 1,
-                FuClass::FpDiv => {
-                    fpdiv_free -= 1;
-                    self.fp_div_busy_until = complete_at;
-                }
-                FuClass::Mem => {
-                    if op.class() == OpClass::Store {
-                        st_ports -= 1;
-                    } else {
-                        ld_ports -= 1;
-                    }
-                }
-                FuClass::None => {}
-            }
-
-            // Stores: data becomes forwardable once the store executes.
-            if op.class() == OpClass::Store {
-                let ea = self.rob[idx].di.ea.unwrap();
-                let seq = self.rob[idx].di.seq;
-                self.lsq.set_store_ready(seq, cycle + lat.agu);
-                if self.cfg.herding.pam {
-                    self.pam.broadcast_store(ea);
-                }
-            } else if op.class() == OpClass::Load {
-                if self.cfg.herding.pam {
-                    self.pam.broadcast_load(self.rob[idx].di.ea.unwrap());
-                }
-                if load_plan.is_some_and(|(_, fwd)| fwd) {
-                    self.stats.store_forwards += 1;
-                }
-            }
-
-            // Execution accounting.
-            match op.class() {
-                OpClass::IntAlu | OpClass::IntMul | OpClass::Control => {
-                    let w = if self.rob[idx].in_width == Width::Full
-                        || self.rob[idx].out_width == Width::Full
-                    {
-                        Width::Full
-                    } else {
-                        Width::Low
-                    };
-                    match w {
-                        Width::Low => self.stats.int_ops_low += 1,
-                        Width::Full => self.stats.int_ops_full += 1,
-                    }
-                }
-                OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => self.stats.fp_ops += 1,
-                _ => {}
-            }
-
-            let slot = &mut self.rob[idx];
-            slot.state = SlotState::Issued;
-            slot.complete_at = complete_at;
-            if let Some(die) = slot.rs_die.take() {
-                self.scheduler.free(die);
-            }
-            self.stats.issued += 1;
-            issued += 1;
         }
+        let op = self.rob[idx].di.inst.op;
+        let fu = op.fu_class();
+
+        // Memory ordering for loads.
+        let mut load_plan: Option<(u64, bool)> = None; // (complete_at, forwarded)
+        if op.class() == OpClass::Load {
+            let ea = self.rob[idx].di.ea.expect("loads have addresses");
+            let size = op.mem_size().unwrap() as u64;
+            match self.lsq.search_for_load(self.rob[idx].di.seq, ea, size) {
+                LoadSearch::Forward(data_ready) => {
+                    if data_ready == u64::MAX {
+                        return false; // producing store has not executed yet
+                    }
+                    let done = (cycle + lat.agu).max(data_ready) + 1;
+                    load_plan = Some((done, true));
+                }
+                LoadSearch::PartialOverlap(data_ready) => {
+                    if data_ready == u64::MAX {
+                        return false;
+                    }
+                    // Replay after the store's data is available, then
+                    // access the cache.
+                    let start = (cycle + lat.agu).max(data_ready);
+                    let mem = self.hierarchy.data_access(ea, false);
+                    self.record_dcache_access(idx, ea, &mem, false);
+                    load_plan = Some((start + mem.cycles, false));
+                }
+                LoadSearch::Cache => {
+                    let ea = self.rob[idx].di.ea.unwrap();
+                    let mem = self.hierarchy.data_access(ea, false);
+                    self.record_dcache_access(idx, ea, &mem, false);
+                    load_plan = Some((cycle + lat.agu + mem.cycles, false));
+                }
+            }
+        }
+
+        // Latency.
+        let slot = &self.rob[idx];
+        let base_latency = match op.fu_class() {
+            FuClass::IntAlu => lat.int_alu,
+            FuClass::IntShift => lat.int_shift,
+            FuClass::IntMul => {
+                if matches!(op, Op::Div | Op::Rem) {
+                    lat.int_div
+                } else {
+                    lat.int_mul
+                }
+            }
+            FuClass::FpAdd => lat.fp_add,
+            FuClass::FpMul => lat.fp_mul,
+            FuClass::FpDiv => {
+                if op == Op::Fsqrt {
+                    lat.fp_sqrt
+                } else {
+                    lat.fp_div
+                }
+            }
+            FuClass::Mem => lat.agu,
+            FuClass::None => 1,
+        };
+
+        let mut complete_at = match load_plan {
+            Some((done, _)) => done,
+            None => cycle + base_latency,
+        };
+
+        // Width-misprediction execution penalties.
+        let (slot_di, slot_unsafe_in, slot_unsafe_out, slot_pred_width) =
+            (slot.di, slot.unsafe_in, slot.unsafe_out, slot.pred_width);
+        if herding {
+            if slot_unsafe_in
+                && matches!(op.class(), OpClass::IntAlu | OpClass::IntMul)
+            {
+                // §3.2: one cycle to re-enable the upper 48 bits.
+                complete_at += 1;
+                self.stats.exec_reenable_stalls += 1;
+            }
+            if slot_unsafe_out {
+                // §3.2: output width misprediction forces re-execution.
+                complete_at += base_latency;
+                self.stats.output_width_replays += 1;
+            }
+            if op.class() == OpClass::Load
+                && slot_pred_width == Width::Low
+                && !self.load_serviced_from_top_die(&slot_di)
+            {
+                // §3.6: stall the cache pipeline one cycle; the tag
+                // match already identified the way holding the upper
+                // bits.
+                complete_at += 1;
+                self.stats.dcache_width_stalls += 1;
+            }
+        }
+
+        // FP loads may pay the extra routing cycle (§3.8).
+        if op == Op::Fld && self.cfg.pipeline.fp_load_extra_cycle {
+            complete_at += 1;
+        }
+
+        // Commit FU reservations.
+        match fu {
+            FuClass::IntAlu => free.alu -= 1,
+            FuClass::IntShift => free.shift -= 1,
+            FuClass::IntMul => {
+                free.mul -= 1;
+                if matches!(op, Op::Div | Op::Rem) {
+                    self.int_div_busy_until = complete_at;
+                }
+            }
+            FuClass::FpAdd => free.fp_add -= 1,
+            FuClass::FpMul => free.fp_mul -= 1,
+            FuClass::FpDiv => {
+                free.fp_div -= 1;
+                self.fp_div_busy_until = complete_at;
+            }
+            FuClass::Mem => {
+                if op.class() == OpClass::Store {
+                    free.st_ports -= 1;
+                } else {
+                    free.ld_ports -= 1;
+                }
+            }
+            FuClass::None => {}
+        }
+
+        // Stores: data becomes forwardable once the store executes.
+        if op.class() == OpClass::Store {
+            let ea = self.rob[idx].di.ea.unwrap();
+            let seq = self.rob[idx].di.seq;
+            self.lsq.set_store_ready(seq, cycle + lat.agu);
+            if self.cfg.herding.pam {
+                self.pam.broadcast_store(ea);
+            }
+        } else if op.class() == OpClass::Load {
+            if self.cfg.herding.pam {
+                self.pam.broadcast_load(self.rob[idx].di.ea.unwrap());
+            }
+            if load_plan.is_some_and(|(_, fwd)| fwd) {
+                self.stats.store_forwards += 1;
+            }
+        }
+
+        // Execution accounting.
+        match op.class() {
+            OpClass::IntAlu | OpClass::IntMul | OpClass::Control => {
+                let w = if self.rob[idx].in_width == Width::Full
+                    || self.rob[idx].out_width == Width::Full
+                {
+                    Width::Full
+                } else {
+                    Width::Low
+                };
+                match w {
+                    Width::Low => self.stats.int_ops_low += 1,
+                    Width::Full => self.stats.int_ops_full += 1,
+                }
+            }
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => self.stats.fp_ops += 1,
+            _ => {}
+        }
+
+        let slot = &mut self.rob[idx];
+        slot.state = SlotState::Issued;
+        slot.complete_at = complete_at;
+        if let Some(die) = slot.rs_die.take() {
+            self.scheduler.free(die);
+        }
+        self.stats.issued += 1;
+        true
     }
 
     /// Whether a low-width-predicted load was serviced without touching
@@ -963,14 +1147,65 @@ impl<'a> Core<'a> {
             if slot.state != SlotState::Issued || slot.complete_at > self.cycle {
                 continue;
             }
-            let di = slot.di;
-            let out_width = slot.out_width;
-            let mispredicted = slot.mispredicted;
-            {
-                let slot = &mut self.rob[idx];
-                slot.state = SlotState::Done;
-                slot.wrote_back = true;
+            self.complete_slot(idx);
+        }
+    }
+
+    /// Event-engine completion stage: pop every event due this cycle, do
+    /// the writeback for slots still in flight, and wake dependants.
+    fn process_events(&mut self) {
+        while let Some(&Reverse((at, seq))) = self.ev_heap.peek() {
+            if at > self.cycle {
+                break;
             }
+            debug_assert_eq!(at, self.cycle, "completion event missed its cycle");
+            self.ev_heap.pop();
+
+            // The slot may already have committed (no-FU slots are `Done`
+            // at dispatch and can retire before their event fires); the
+            // writeback then already happened at dispatch.
+            if seq >= self.rob_head_seq {
+                let idx = (seq - self.rob_head_seq) as usize;
+                if idx < self.rob.len() {
+                    if self.rob[idx].state == SlotState::Issued {
+                        self.complete_slot(idx);
+                    }
+                    self.rob[idx].visible = true;
+                }
+            }
+
+            // Wake consumers parked on this producer.
+            let waiters = self.ev_waiters.take(seq);
+            for &consumer in &waiters {
+                if consumer < self.rob_head_seq {
+                    continue;
+                }
+                let cidx = (consumer - self.rob_head_seq) as usize;
+                let Some(slot) = self.rob.get_mut(cidx) else { continue };
+                debug_assert!(slot.deps > 0);
+                slot.deps -= 1;
+                if slot.deps == 0 && slot.state == SlotState::Waiting {
+                    self.ev_ready.insert(consumer);
+                }
+            }
+            self.ev_waiters.put_back(seq, waiters);
+        }
+    }
+
+    /// Writeback for the issued slot at `idx` whose result is due this
+    /// cycle: record the register-file/ROB/bypass/tag-broadcast activity
+    /// and release a pending fetch redirect if this was the blocking
+    /// branch. Shared verbatim between the two engines.
+    fn complete_slot(&mut self, idx: usize) {
+        let slot = &self.rob[idx];
+        let di = slot.di;
+        let out_width = slot.out_width;
+        let mispredicted = slot.mispredicted;
+        {
+            let slot = &mut self.rob[idx];
+            slot.state = SlotState::Done;
+            slot.wrote_back = true;
+        }
 
             // Writeback accounting: register file, ROB result field,
             // bypass network, and the wakeup tag broadcast.
@@ -1010,6 +1245,178 @@ impl<'a> Core<'a> {
                 if di.inst.op.is_cond_branch() {
                     self.stats.cond_mispredicts += 1;
                 }
+            }
+    }
+
+    // ------------------------------------------------------- idle skipping
+
+    /// Event engine: the cycle to execute after the current one. Normally
+    /// `cycle + 1`; when provably nothing can commit, complete, issue,
+    /// dispatch, or fetch before some later cycle `T`, jumps straight to
+    /// `T` after batch-charging the per-cycle stall statistics for the
+    /// skipped window. Never jumps past the deadlock watchdog horizon, so
+    /// a genuine deadlock still panics on the same cycle as the scan
+    /// engine.
+    fn next_cycle(&mut self, last_commit_cycle: u64) -> u64 {
+        let next = self.cycle + 1;
+        let Some(target) = self.idle_until() else { return next };
+        let target = target.min(last_commit_cycle + 200_000).max(next);
+        if target > next {
+            self.account_idle(next, target);
+        }
+        target
+    }
+
+    /// The earliest future cycle at which any pipeline stage might make
+    /// progress, or `None` if the very next cycle might (in which case no
+    /// cycles are skipped). Conservative: may return `None` spuriously,
+    /// never a too-late cycle.
+    fn idle_until(&self) -> Option<u64> {
+        let next = self.cycle + 1;
+        let mut t = u64::MAX;
+
+        // Commit: only the ROB head matters.
+        if let Some(head) = self.rob.front() {
+            if head.state == SlotState::Done && head.complete_at <= next {
+                return None;
+            }
+        }
+
+        // Completion events (also cover `Done`-at-dispatch visibility and
+        // every in-flight `Issued` slot).
+        if let Some(&Reverse((at, _))) = self.ev_heap.peek() {
+            debug_assert!(at >= next);
+            t = t.min(at);
+        }
+
+        // Ready-but-unissued slots. Only three shapes are provably stuck
+        // until a known cycle: divides blocked on the non-pipelined unit,
+        // and loads blocked on an unexecuted older store (whose own issue
+        // or wakeup is covered by the cases above). Anything else might
+        // issue next cycle.
+        for &seq in &self.ev_ready {
+            let slot = &self.rob[(seq - self.rob_head_seq) as usize];
+            let op = slot.di.inst.op;
+            match op.fu_class() {
+                FuClass::IntMul if matches!(op, Op::Div | Op::Rem) => {
+                    if self.int_div_busy_until <= next {
+                        return None;
+                    }
+                    t = t.min(self.int_div_busy_until);
+                }
+                FuClass::FpDiv => {
+                    if self.fp_div_busy_until <= next {
+                        return None;
+                    }
+                    t = t.min(self.fp_div_busy_until);
+                }
+                FuClass::Mem if op.class() == OpClass::Load => {
+                    let ea = slot.di.ea.expect("loads have addresses");
+                    let size = op.mem_size().expect("loads are sized") as u64;
+                    match self.lsq.search_for_load(slot.di.seq, ea, size) {
+                        LoadSearch::Forward(c) | LoadSearch::PartialOverlap(c)
+                            if c == u64::MAX => {}
+                        _ => return None,
+                    }
+                }
+                _ => return None,
+            }
+        }
+
+        // Dispatch: a group member maturing is a wake-up; a matured head
+        // only dispatches (or takes the §3.1 group stall) when unblocked.
+        if !self.ifq.is_empty() {
+            let group_end = self.cfg.core.decode_width.min(self.ifq.len());
+            for f in self.ifq.iter().take(group_end) {
+                if f.dispatch_ready_at > next {
+                    t = t.min(f.dispatch_ready_at);
+                    break;
+                }
+            }
+            let front = &self.ifq[0];
+            if front.dispatch_ready_at <= next {
+                if self.cfg.herding.enabled && self.dispatch_group_would_stall(next) {
+                    return None;
+                }
+                let op = front.di.inst.op;
+                let blocked = if self.rob.len() >= self.cfg.core.rob_size {
+                    true
+                } else if op.fu_class() != FuClass::None && self.scheduler.is_full() {
+                    true
+                } else {
+                    match op.class() {
+                        OpClass::Load => !self.lsq.lq_has_space(),
+                        OpClass::Store => !self.lsq.sq_has_space(),
+                        _ => false,
+                    }
+                };
+                if !blocked {
+                    return None;
+                }
+            }
+        }
+
+        // Fetch: blocked by a pending redirect (released by a completion
+        // event), a resume cycle, or a full IFQ (monotone while nothing
+        // dispatches). An unblocked, non-full fetch makes progress.
+        if !self.fetch_done && self.redirect_pending.is_none() {
+            if next < self.fetch_resume_at {
+                t = t.min(self.fetch_resume_at);
+            } else {
+                let mut matured = self.ifq_matured;
+                while matured < self.ifq.len()
+                    && self.ifq[matured].dispatch_ready_at <= next
+                {
+                    matured += 1;
+                }
+                if matured + self.cfg.core.fetch_width <= self.cfg.core.ifq_size {
+                    return None;
+                }
+            }
+        }
+
+        // Nothing pending at all: jump to the watchdog horizon (the caller
+        // clamps) so a drained-but-deadlocked pipeline still panics.
+        Some(t)
+    }
+
+    /// Batch-charges the per-cycle statistics the scan engine would have
+    /// accrued over the idle window `[from, to)`: RS residency, the
+    /// blocking dispatch structural hazard, and the fetch stall breakdown.
+    /// Every charged condition is constant (or monotone in the charged
+    /// direction) across the window — `idle_until` guarantees it.
+    fn account_idle(&mut self, from: u64, to: u64) {
+        let k = to - from;
+        for (die, occ) in self.scheduler.occupancy().into_iter().enumerate() {
+            self.stats.rs_occupancy_cycles_per_die[die] += occ as u64 * k;
+        }
+
+        if let Some(front) = self.ifq.front() {
+            if front.dispatch_ready_at <= from {
+                let op = front.di.inst.op;
+                if self.rob.len() >= self.cfg.core.rob_size {
+                    self.stats.rob_full_stalls += k;
+                } else if op.fu_class() != FuClass::None && self.scheduler.is_full() {
+                    self.stats.rs_full_stalls += k;
+                } else {
+                    match op.class() {
+                        OpClass::Load if !self.lsq.lq_has_space() => {
+                            self.stats.lsq_full_stalls += k;
+                        }
+                        OpClass::Store if !self.lsq.sq_has_space() => {
+                            self.stats.lsq_full_stalls += k;
+                        }
+                        _ => unreachable!("unblocked dispatch inside an idle window"),
+                    }
+                }
+            }
+        }
+
+        if !self.fetch_done {
+            if self.redirect_pending.is_some() || from < self.fetch_resume_at {
+                self.stats.fetch_stall_cycles += k;
+            } else {
+                self.stats.ifq_full_stalls += k;
             }
         }
     }

@@ -56,6 +56,9 @@ mod stats;
 pub use crate::core::{SimResult, Simulator};
 pub use branch::{BranchPredictor, BranchUpdate, Btb, BtbOutcome, ReturnStack};
 pub use cache::{Cache, CacheConfig, CacheKind, MemoryHierarchy, Tlb};
-pub use config::{CoreParams, FuLatencies, HerdingConfig, MemConfig, PipelineConfig, SimConfig};
+pub use config::{
+    default_engine, set_default_engine, CoreEngine, CoreParams, FuLatencies, HerdingConfig,
+    MemConfig, PipelineConfig, SimConfig,
+};
 pub use scheduler::{AllocPolicy, Scheduler};
 pub use stats::SimStats;

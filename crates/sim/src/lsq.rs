@@ -97,9 +97,14 @@ impl Lsq {
     }
 
     /// Records that a store has executed (data available for forwarding).
+    /// The queue is ordered by `seq` (stores allocate in program order),
+    /// so the entry is found by binary search.
     pub fn set_store_ready(&mut self, seq: u64, cycle: u64) {
-        if let Some(e) = self.sq.iter_mut().find(|e| e.seq == seq) {
-            e.ready_cycle = cycle;
+        let idx = self.sq.partition_point(|e| e.seq < seq);
+        if let Some(e) = self.sq.get_mut(idx) {
+            if e.seq == seq {
+                e.ready_cycle = cycle;
+            }
         }
     }
 
@@ -117,11 +122,11 @@ impl Lsq {
     /// Searches the store queue on behalf of the load `load_seq`
     /// accessing `[addr, addr+size)`.
     pub fn search_for_load(&self, load_seq: u64, addr: u64, size: u64) -> LoadSearch {
-        // Walk older stores youngest-first so the nearest match wins.
-        for e in self.sq.iter().rev() {
-            if e.seq >= load_seq {
-                continue;
-            }
+        // Only stores older than the load matter; the queue is ordered by
+        // `seq`, so they form the prefix below `partition_point`. Walk
+        // them youngest-first so the nearest match wins.
+        let older = self.sq.partition_point(|e| e.seq < load_seq);
+        for e in self.sq.iter().take(older).rev() {
             let covers = e.addr <= addr && addr + size <= e.addr + e.size;
             let overlaps = e.addr < addr + size && addr < e.addr + e.size;
             if covers {

@@ -11,7 +11,7 @@ use th_width::{DieActivity, EncodingStats, PamStats, WidthPredictStats};
 /// regardless of whether herding is enabled so that the same run can be
 /// priced as a planar or a 3D design; whether gating actually *happens*
 /// is the power model's decision based on the configuration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct SimStats {
     // ---- global ----
