@@ -39,4 +39,17 @@ if ! awk -v old="$old" -v new="$new" 'BEGIN {
     exit 1
 fi
 
+# Same guard for the closed-loop co-simulation smoke that bench_report
+# just ran (30 intervals of perform/price/heat/react).
+old=$(grep -o '"cosim": {"intervals": [0-9]*, "total_s": *[0-9.]*' "$committed" | grep -o '[0-9.]*$')
+new=$(grep -o '"cosim": {"intervals": [0-9]*, "total_s": *[0-9.]*' "$guard_dir/BENCH_pipeline.json" | grep -o '[0-9.]*$')
+if ! awk -v old="$old" -v new="$new" 'BEGIN {
+    ratio = new / old
+    printf "perf guard: cosim smoke %.2fs fresh vs %.2fs committed (%.2fx)\n", new, old, ratio
+    exit ratio > 1.5 ? 1 : 0
+}'; then
+    echo "ci.sh: FAIL - closed-loop co-simulation time regressed more than 1.5x" >&2
+    exit 1
+fi
+
 echo "ci.sh: all checks passed"

@@ -19,7 +19,10 @@ use th_sim::{set_default_engine, CoreEngine};
 use th_thermal::{
     Kernel, Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver,
 };
-use thermal_herding::experiments::{fig10, fig8, fig9};
+use th_cosim::{CoSimConfig, PolicyKind};
+use th_workloads::workload_by_name;
+use thermal_herding::experiments::{dtm, fig10, fig8, fig9};
+use thermal_herding::Variant;
 
 fn time_s<R>(f: impl FnOnce() -> R) -> f64 {
     let t0 = Instant::now();
@@ -142,6 +145,42 @@ fn main() {
         "  \"engine\": {{\"experiment\": \"fig8\", \"scan_s\": {scan_s:.4}, \
          \"event_s\": {event_s:.4}, \"speedup\": {:.4}}},",
         scan_s / event_s
+    )
+    .unwrap();
+
+    // Closed-loop co-simulation smoke: a scaled-down DTM run (30
+    // intervals, 20k-cycle slices, 12x12 thermal grid) timed end to end,
+    // with the wall-clock split between the cycle simulator and the
+    // transient solver taken from the report itself.
+    eprintln!("timing the closed-loop co-simulation smoke...");
+    let w = workload_by_name("mpeg2-like").expect("known workload");
+    let cosim_cfg = CoSimConfig::sampled(0.02, 20_000, 30);
+    let mut cosim_trace = None;
+    let cosim_s = time_s(|| {
+        cosim_trace = Some(dtm::run_variant_scaled(
+            Variant::ThreeDNoTh,
+            &w,
+            376.0,
+            12,
+            PolicyKind::Dvfs.build(376.0),
+            cosim_cfg,
+        ));
+    });
+    let cosim_report = cosim_trace.expect("cosim ran").report;
+    let intervals = cosim_report.intervals.len();
+    let intervals_per_s = intervals as f64 / cosim_s;
+    let solver_share = cosim_report.solver_wall_s / cosim_s;
+    println!(
+        "cosim: {intervals} intervals in {cosim_s:.2} s ({intervals_per_s:.1}/s), \
+         solver share {:.0}%",
+        100.0 * solver_share
+    );
+    writeln!(
+        json,
+        "  \"cosim\": {{\"intervals\": {intervals}, \"total_s\": {cosim_s:.4}, \
+         \"intervals_per_s\": {intervals_per_s:.4}, \"sim_wall_s\": {:.4}, \
+         \"solver_wall_s\": {:.4}, \"solver_share\": {solver_share:.4}}},",
+        cosim_report.sim_wall_s, cosim_report.solver_wall_s
     )
     .unwrap();
 

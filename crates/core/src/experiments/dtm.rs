@@ -2,191 +2,152 @@
 //! the paper's §5.3 observation (citing Black et al.) that performance
 //! headroom can be traded for temperature.
 //!
-//! A DTM controller watches the transient peak temperature and throttles
-//! the clock when it exceeds the cap, stepping back up when there is
-//! headroom. Because Thermal Herding lowers the stack's steady-state
-//! ceiling, the herded design sustains its full clock under caps that
-//! force the unherded 3D design to throttle — the herding win expressed
-//! as *delivered throughput* instead of kelvin.
+//! The study runs on the [`th_cosim`] closed loop: every control
+//! interval re-simulates the pipeline, re-prices power from that
+//! interval's real activity (plus temperature-dependent leakage), steps
+//! the transient solver, and lets a [`DtmPolicy`] react. Because Thermal
+//! Herding lowers the stack's steady-state ceiling, the herded design
+//! sustains its full clock under caps that force the unherded 3D design
+//! to throttle — the herding win expressed as *delivered throughput*
+//! instead of kelvin.
+//!
+//! The pre-cosim controller (constant average power repriced at each
+//! clock, constant 18 W leakage) survives as the test-only oracle: the
+//! closed loop must never exceed the open loop's steady-state ceiling.
 
 use crate::config::Variant;
-use crate::run::{run_chip, ChipResult};
 use crate::thermal::SINK_RESISTANCE_K_PER_W;
 use std::fmt;
-use th_power::PowerModel;
-use th_stack3d::{DieStack, Floorplan, LayerKind, Unit};
-use th_thermal::{
-    HeatSink, Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver,
-    TransientSolver,
-};
+use th_cosim::{CoSimConfig, CoSimReport, CoSimulator, DtmPolicy, PolicyKind};
+use th_power::LeakageModel;
+use th_stack3d::{DieStack, Floorplan};
+use th_thermal::{HeatSink, SteadySolver};
 use th_workloads::Workload;
 
-/// One sample of the DTM control loop.
-#[derive(Clone, Copy, Debug)]
-pub struct DtmSample {
-    /// Simulated time, seconds.
-    pub time_s: f64,
-    /// Peak stack temperature at this sample, kelvin.
-    pub peak_k: f64,
-    /// Clock the controller ran during the interval, GHz.
-    pub clock_ghz: f64,
-}
+/// Control interval of the DTM loop, seconds of simulated time.
+pub const DTM_INTERVAL_S: f64 = 0.05;
+/// Pipeline cycles re-simulated per control interval (the sampled-
+/// execution budget; see [`th_cosim`]). Sized so an 80-interval trace
+/// crosses real program phases even on DRAM-bound kernels whose cold
+/// pass alone spans millions of cycles.
+pub const DTM_SLICE_CYCLES: u64 = 100_000;
+/// Control intervals per trace (4 s of simulated time).
+pub const DTM_STEPS: usize = 80;
 
-/// Outcome of a DTM run for one design point.
+/// Outcome of a closed-loop DTM run for one design point.
 #[derive(Clone, Debug)]
 pub struct DtmTrace {
     /// Design point.
     pub variant: Variant,
     /// Thermal cap enforced, kelvin.
     pub cap_k: f64,
-    /// Control-loop samples.
-    pub samples: Vec<DtmSample>,
-    /// Nominal (unthrottled) clock, GHz.
-    pub nominal_ghz: f64,
-    /// Per-core IPC of the workload at this design point.
-    pub ipc: f64,
+    /// The co-simulation trace (per-interval temperature, clock, fetch
+    /// width, IPC, power split).
+    pub report: CoSimReport,
+    /// Nominal fetch width (for throttle accounting).
+    pub nominal_fetch_width: usize,
 }
 
 impl DtmTrace {
-    /// Fraction of control intervals spent below the nominal clock.
+    /// Nominal (unthrottled) clock, GHz.
+    pub fn nominal_ghz(&self) -> f64 {
+        self.report.nominal_ghz
+    }
+
+    /// Per-core IPC over the whole trace.
+    pub fn ipc(&self) -> f64 {
+        self.report.ipc()
+    }
+
+    /// Fraction of control intervals spent below the nominal operating
+    /// point (clock or fetch width).
     pub fn throttled_fraction(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let throttled =
-            self.samples.iter().filter(|s| s.clock_ghz < self.nominal_ghz - 1e-9).count();
-        throttled as f64 / self.samples.len() as f64
+        self.report.throttled_fraction(self.nominal_fetch_width)
     }
 
     /// Instructions delivered per core over the trace, in billions:
-    /// `Σ IPC × f × dt`.
+    /// `Σ IPC × f × dt` with each interval's own IPC and clock. The
+    /// interval length comes from the trace itself.
     pub fn delivered_ginst(&self) -> f64 {
-        let dt = if self.samples.len() > 1 {
-            self.samples[1].time_s - self.samples[0].time_s
-        } else {
-            0.0
-        };
-        self.samples.iter().map(|s| self.ipc * s.clock_ghz * dt).sum()
+        let dt = self.report.intervals.first().map_or(0.0, |s| s.t_s);
+        self.report.intervals.iter().map(|s| s.ipc() * s.clock_ghz * dt).sum()
     }
 
     /// Mean clock over the trace, GHz.
     pub fn mean_clock_ghz(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().map(|s| s.clock_ghz).sum::<f64>() / self.samples.len() as f64
+        self.report.mean_clock_ghz()
     }
 
     /// Highest temperature ever observed (the cap may be overshot by at
     /// most one control interval's rise).
     pub fn max_peak_k(&self) -> f64 {
-        self.samples.iter().map(|s| s.peak_k).fold(f64::NEG_INFINITY, f64::max)
+        self.report.max_peak_k()
     }
 }
 
-fn material_of(kind: LayerKind) -> Material {
-    match kind {
-        LayerKind::Silicon | LayerKind::Active(_) => Material::SILICON,
-        LayerKind::BondInterface => Material::BOND_INTERFACE,
-        LayerKind::Tim => Material::TIM_ALLOY,
-        LayerKind::Spreader => Material::COPPER,
-    }
+/// Assembles the co-simulation pieces for one design point.
+fn cosim_parts(variant: Variant, rows: usize) -> (Floorplan, SteadySolver, LeakageModel, usize) {
+    let (floorplan, stack, rows) = if variant.is_three_d() {
+        (Floorplan::stacked_dual_core(), DieStack::four_die(), rows)
+    } else {
+        (Floorplan::planar_dual_core(), DieStack::planar(), rows * 2)
+    };
+    let model = th_cosim::stack_thermal_model(
+        &stack,
+        &floorplan,
+        HeatSink { resistance_k_per_w: SINK_RESISTANCE_K_PER_W, ambient_k: th_thermal::AMBIENT_K },
+    );
+    let solver = SteadySolver::new(model, rows, rows);
+    let leakage = LeakageModel::new(variant.power_config().chip_leakage_w, &floorplan);
+    (floorplan, solver, leakage, rows)
 }
 
-/// Paints the chip's power (repriced at `clock_ghz`) onto per-die grids.
-fn grids_at_clock(
-    result: &ChipResult,
-    floorplan: &Floorplan,
-    rows: usize,
-    clock_ghz: f64,
-) -> Vec<PowerGrid> {
-    let mut pcfg = result.variant.power_config();
-    pcfg.clock_ghz = clock_ghz;
-    let power = PowerModel::new().compute(&result.chip_stats, result.cycles(), &pcfg);
-    let model = PowerModel::new();
-    let (w_m, h_m) = (floorplan.width_mm() * 1e-3, floorplan.height_mm() * 1e-3);
-    let mut grids: Vec<PowerGrid> =
-        (0..floorplan.dies()).map(|_| PowerGrid::new(rows, rows, w_m, h_m)).collect();
-    for p in floorplan.placements() {
-        let unit_w = match p.unit {
-            Unit::Clock => power.clock_w,
-            u => power.unit_w(u),
-        };
-        let share = if p.core.is_some() { 0.5 } else { 1.0 };
-        let fractions =
-            th_power::die_fractions(p.unit, &result.chip_stats, model.energies(), &pcfg);
-        let leak = if p.unit == Unit::Clock {
-            power.leakage_w / floorplan.dies() as f64
-        } else {
-            0.0
-        };
-        let r = p.rect;
-        grids[p.die].paint_rect(
-            r.x * 1e-3,
-            r.y * 1e-3,
-            (r.x + r.w) * 1e-3,
-            (r.y + r.h) * 1e-3,
-            unit_w * share * fractions[p.die] + leak,
-        );
-    }
-    grids
-}
-
-/// Runs the DTM control loop for one design point.
-///
-/// The controller samples every `dt_s` seconds: above the cap it steps
-/// the clock down by 0.2 GHz (floor 2.0 GHz); with more than 1.5 K of
-/// headroom it steps back up toward nominal.
-pub fn run_variant(
+/// Runs the closed DTM loop for one design point under `policy`, with an
+/// explicit interval structure (smoke tests and determinism checks use a
+/// scaled-down one).
+pub fn run_variant_scaled(
     variant: Variant,
     workload: &Workload,
     cap_k: f64,
     rows: usize,
-    dt_s: f64,
-    steps: usize,
+    policy: Box<dyn DtmPolicy>,
+    cfg: CoSimConfig,
 ) -> DtmTrace {
-    let result = run_chip(variant, workload, u64::MAX).expect("workload runs");
-    let (floorplan, stack) = if variant.is_three_d() {
-        (Floorplan::stacked_dual_core(), DieStack::four_die())
-    } else {
-        (Floorplan::planar_dual_core(), DieStack::planar())
-    };
-    let rows = if variant.is_three_d() { rows } else { rows * 2 };
-    let layers = stack
-        .layers()
-        .iter()
-        .map(|l| match l.kind {
-            LayerKind::Active(die) => {
-                ModelLayer::active(l.thickness_um * 1e-6, material_of(l.kind), die)
-            }
-            _ => ModelLayer::passive(l.thickness_um * 1e-6, material_of(l.kind)),
-        })
-        .collect();
-    let model = StackModel::new(
-        floorplan.width_mm() * 1e-3,
-        floorplan.height_mm() * 1e-3,
-        layers,
-        HeatSink { resistance_k_per_w: SINK_RESISTANCE_K_PER_W, ambient_k: th_thermal::AMBIENT_K },
+    let (floorplan, solver, leakage, _) = cosim_parts(variant, rows);
+    let sim_cfg = variant.sim_config();
+    let nominal_fetch_width = sim_cfg.core.fetch_width;
+    let cosim = CoSimulator::new(
+        sim_cfg,
+        variant.power_config(),
+        leakage,
+        &floorplan,
+        solver,
+        policy,
+        cfg,
+        &workload.program,
     );
-    let solver = SteadySolver::new(model, rows, rows);
-    let mut transient = TransientSolver::from_ambient(solver);
+    let report = cosim.run().expect("co-simulation runs");
+    DtmTrace { variant, cap_k, report, nominal_fetch_width }
+}
 
-    let nominal = result.clock_ghz;
-    let mut clock = nominal;
-    let mut samples = Vec::with_capacity(steps);
-    let opts = SolveOptions::default();
-    for _ in 0..steps {
-        let grids = grids_at_clock(&result, &floorplan, rows, clock);
-        transient.step(&grids, dt_s, &opts).expect("transient step converges");
-        let peak = transient.current_map().max_temp();
-        samples.push(DtmSample { time_s: transient.elapsed_s(), peak_k: peak, clock_ghz: clock });
-        if peak > cap_k {
-            clock = (clock - 0.2).max(2.0);
-        } else if peak < cap_k - 1.5 {
-            clock = (clock + 0.2).min(nominal);
-        }
-    }
-    DtmTrace { variant, cap_k, samples, nominal_ghz: nominal, ipc: result.ipc() }
+/// [`run_variant_scaled`] with the standard interval structure
+/// ([`DTM_INTERVAL_S`] × [`DTM_STEPS`], [`DTM_SLICE_CYCLES`] per
+/// interval).
+pub fn run_variant_with_policy(
+    variant: Variant,
+    workload: &Workload,
+    cap_k: f64,
+    rows: usize,
+    policy: Box<dyn DtmPolicy>,
+) -> DtmTrace {
+    let cfg = CoSimConfig::sampled(DTM_INTERVAL_S, DTM_SLICE_CYCLES, DTM_STEPS);
+    run_variant_scaled(variant, workload, cap_k, rows, policy, cfg)
+}
+
+/// [`run_variant_with_policy`] with the default DVFS ladder (step down
+/// 0.2 GHz above the cap, floor 2.0 GHz, step back up with headroom).
+pub fn run_variant(variant: Variant, workload: &Workload, cap_k: f64, rows: usize) -> DtmTrace {
+    run_variant_with_policy(variant, workload, cap_k, rows, PolicyKind::Dvfs.build(cap_k))
 }
 
 /// The DTM comparison: the unherded and herded 3D designs under the same
@@ -207,7 +168,7 @@ pub fn run(workload: &Workload, cap_k: f64, rows: usize) -> Dtm {
 /// order regardless of thread count.
 pub fn run_with_pool(workload: &Workload, cap_k: f64, rows: usize, pool: &th_exec::Pool) -> Dtm {
     let traces = pool.map(&[Variant::ThreeDNoTh, Variant::ThreeD], |&v| {
-        run_variant(v, workload, cap_k, rows, 0.05, 80)
+        run_variant(v, workload, cap_k, rows)
     });
     Dtm { traces }
 }
@@ -216,20 +177,23 @@ impl fmt::Display for Dtm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "DTM study: {:.0} K cap, 4 s of execution, 50 ms control interval",
-            self.traces[0].cap_k
+            "DTM study: {:.0} K cap, {:.0} s of execution, {:.0} ms control interval",
+            self.traces[0].cap_k,
+            DTM_INTERVAL_S * DTM_STEPS as f64,
+            DTM_INTERVAL_S * 1e3,
         )?;
         for t in &self.traces {
             writeln!(
                 f,
                 "  {:<8} mean clock {:>5.2} GHz (nominal {:.2}), throttled {:>5.1}% of the time, \
-                 max peak {:>6.1} K, delivered {:>6.2} Ginst/core",
+                 max peak {:>6.1} K, delivered {:>6.2} Ginst/core, power swing {:.2}x",
                 t.variant.label(),
                 t.mean_clock_ghz(),
-                t.nominal_ghz,
+                t.nominal_ghz(),
                 100.0 * t.throttled_fraction(),
                 t.max_peak_k(),
-                t.delivered_ginst()
+                t.delivered_ginst(),
+                t.report.dynamic_power_swing(),
             )?;
         }
         let (noth, th) = (&self.traces[0], &self.traces[1]);
@@ -244,16 +208,33 @@ impl fmt::Display for Dtm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::run_chip;
+    use crate::thermal::thermal_analysis;
     use th_workloads::workload_by_name;
+
+    /// The pre-cosim open-loop path: full run, average power, one steady
+    /// solve. Its peak is the ceiling the closed loop must respect.
+    fn open_loop_ceiling_k(variant: Variant, workload: &Workload, rows: usize) -> f64 {
+        let result = run_chip(variant, workload, u64::MAX).expect("workload runs");
+        thermal_analysis(&result, rows).expect("steady solve converges").peak_k()
+    }
+
+    /// A trace at the scaled test budget: the same 50 ms intervals, but
+    /// smaller cycle slices and fewer steps so the suite stays fast in
+    /// debug builds. Steady-state thermal behaviour is slice-independent
+    /// for phase-uniform kernels.
+    fn test_trace(variant: Variant, w: &Workload, cap_k: f64, steps: usize) -> DtmTrace {
+        let cfg = CoSimConfig::sampled(DTM_INTERVAL_S, 15_000, steps);
+        run_variant_scaled(variant, w, cap_k, 16, PolicyKind::Dvfs.build(cap_k), cfg)
+    }
 
     #[test]
     fn herding_avoids_throttling_under_a_tight_cap() {
         let w = workload_by_name("mpeg2-like").unwrap();
-        // Cap between the herded ceiling (≈374 K) and the unherded one
-        // (≈379 K): only the unherded design must throttle.
-        let dtm = run(&w, 376.0, 16);
-        let noth = &dtm.traces[0];
-        let th = &dtm.traces[1];
+        // Cap between the herded ceiling and the unherded one: only the
+        // unherded design must throttle.
+        let noth = test_trace(Variant::ThreeDNoTh, &w, 376.0, 40);
+        let th = test_trace(Variant::ThreeD, &w, 376.0, 40);
         assert!(noth.throttled_fraction() > 0.3, "noTH never throttled");
         assert!(th.throttled_fraction() < 0.05, "TH throttled {:.2}", th.throttled_fraction());
         assert!(th.delivered_ginst() > noth.delivered_ginst());
@@ -265,10 +246,53 @@ mod tests {
     #[test]
     fn loose_cap_throttles_nobody() {
         let w = workload_by_name("gzip-like").unwrap();
-        let dtm = run(&w, 420.0, 12);
-        for t in &dtm.traces {
+        for variant in [Variant::ThreeDNoTh, Variant::ThreeD] {
+            let t = test_trace(variant, &w, 420.0, 25);
             assert_eq!(t.throttled_fraction(), 0.0, "{} throttled", t.variant);
-            assert!((t.mean_clock_ghz() - t.nominal_ghz).abs() < 1e-9);
+            assert!((t.mean_clock_ghz() - t.nominal_ghz()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn closed_loop_peak_never_exceeds_open_loop_ceiling() {
+        // The open-loop steady solve prices leakage at its constant 18 W
+        // reference; the closed loop prices it at the (cooler) actual
+        // temperatures and throttles on top. The closed loop must
+        // therefore never end up hotter than the open-loop ceiling.
+        let w = workload_by_name("mpeg2-like").unwrap();
+        for variant in [Variant::ThreeDNoTh, Variant::ThreeD] {
+            let ceiling = open_loop_ceiling_k(variant, &w, 16);
+            let trace = test_trace(variant, &w, 376.0, 40);
+            assert!(
+                trace.max_peak_k() <= ceiling + 1.0,
+                "{}: closed loop {:.1} K above open-loop ceiling {:.1} K",
+                variant,
+                trace.max_peak_k(),
+                ceiling
+            );
+        }
+    }
+
+    #[test]
+    fn mcf_like_holds_the_cap_with_phase_coupled_power() {
+        // The acceptance scenario: a memory-bound workload whose phases
+        // (cold-cache DRAM storms vs warmed-up locality) must show up in
+        // the per-interval power trace while the ladder holds the cap.
+        // This one keeps the full 100k-cycle slices: the cold pointer-
+        // chase pass alone spans ~3M cycles and the trace must cross into
+        // the warm phase (cheap to simulate — the event engine skips the
+        // DRAM-stall idle cycles).
+        let w = workload_by_name("mcf-like").unwrap();
+        let trace = run_variant(Variant::ThreeDNoTh, &w, 376.0, 16);
+        assert!(
+            trace.max_peak_k() < 376.0 + 3.0,
+            "cap violated: {:.1} K",
+            trace.max_peak_k()
+        );
+        let swing = trace.report.dynamic_power_swing();
+        assert!(
+            swing >= 2.0,
+            "per-interval dynamic power varies only {swing:.2}x — phases not coupled"
+        );
     }
 }

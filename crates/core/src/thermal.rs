@@ -3,10 +3,8 @@
 use crate::config::Variant;
 use crate::run::ChipResult;
 use th_power::{die_fractions, PowerModel};
-use th_stack3d::{DieStack, Floorplan, LayerKind, Unit};
-use th_thermal::{
-    HeatSink, Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver, ThermalMap,
-};
+use th_stack3d::{DieStack, Floorplan, Unit};
+use th_thermal::{HeatSink, PowerGrid, SolveOptions, StackModel, SteadySolver, ThermalMap};
 
 /// Default lateral grid resolution for the experiments (rows).
 pub const GRID_ROWS: usize = 40;
@@ -54,34 +52,12 @@ impl ThermalAnalysis {
     }
 }
 
-fn material_of(kind: LayerKind) -> Material {
-    match kind {
-        LayerKind::Silicon | LayerKind::Active(_) => Material::SILICON,
-        LayerKind::BondInterface => Material::BOND_INTERFACE,
-        LayerKind::Tim => Material::TIM_ALLOY,
-        LayerKind::Spreader => Material::COPPER,
-    }
-}
-
-/// Converts a `th-stack3d` die stack into a thermal stack model.
-fn stack_model(stack: &DieStack, floorplan: &Floorplan) -> StackModel {
-    let layers = stack
-        .layers()
-        .iter()
-        .map(|l| {
-            let material = material_of(l.kind);
-            match l.kind {
-                LayerKind::Active(die) => {
-                    ModelLayer::active(l.thickness_um * 1e-6, material, die)
-                }
-                _ => ModelLayer::passive(l.thickness_um * 1e-6, material),
-            }
-        })
-        .collect();
-    StackModel::new(
-        floorplan.width_mm() * 1e-3,
-        floorplan.height_mm() * 1e-3,
-        layers,
+/// Converts a `th-stack3d` die stack into a thermal stack model under
+/// the experiments' standard heat sink.
+pub(crate) fn stack_model(stack: &DieStack, floorplan: &Floorplan) -> StackModel {
+    th_cosim::stack_thermal_model(
+        stack,
+        floorplan,
         HeatSink { resistance_k_per_w: SINK_RESISTANCE_K_PER_W, ambient_k: th_thermal::AMBIENT_K },
     )
 }

@@ -1,0 +1,190 @@
+//! Integration tests for the coupled loop: phase-following power,
+//! temperature-following leakage, interval-chopping invisibility, and
+//! the zero-power cool-down property.
+
+use proptest::prelude::*;
+use th_cosim::{stack_thermal_model, CoSimConfig, CoSimulator, DvfsLadder, NoDtm};
+use th_isa::parse_asm;
+use th_power::{LeakageModel, PowerConfig};
+use th_sim::{SimConfig, SimSession};
+use th_stack3d::{DieStack, Floorplan};
+use th_thermal::{HeatSink, SteadySolver, AMBIENT_K};
+
+const SINK_RESISTANCE_K_PER_W: f64 = 0.23;
+
+/// A compute-dense kernel that halts after `iters` loop trips.
+fn busy_kernel(iters: u64) -> String {
+    format!(
+        "
+    li   x10, 0
+    li   x11, {iters}
+loop:
+    add  x1, x1, x10
+    mul  x2, x1, x10
+    add  x3, x3, x2
+    addi x10, x10, 1
+    bne  x10, x11, loop
+    halt
+"
+    )
+}
+
+fn three_d_setup(rows: usize) -> (SimConfig, PowerConfig, LeakageModel, Floorplan, SteadySolver) {
+    let floorplan = Floorplan::stacked_dual_core();
+    let stack = DieStack::four_die();
+    let pcfg = PowerConfig::three_d(3.93, true);
+    let leakage = LeakageModel::new(pcfg.chip_leakage_w, &floorplan);
+    let model = stack_thermal_model(
+        &stack,
+        &floorplan,
+        HeatSink { resistance_k_per_w: SINK_RESISTANCE_K_PER_W, ambient_k: AMBIENT_K },
+    );
+    let solver = SteadySolver::new(model, rows, rows);
+    (SimConfig::three_d(3.93), pcfg, leakage, floorplan, solver)
+}
+
+#[test]
+fn heatup_trace_is_coherent_and_leakage_tracks_temperature() {
+    let program = parse_asm(&busy_kernel(100_000)).unwrap();
+    let (scfg, pcfg, leakage, floorplan, solver) = three_d_setup(12);
+    let cfg = CoSimConfig::sampled(0.005, 20_000, 24);
+    let cosim = CoSimulator::new(
+        scfg,
+        pcfg,
+        leakage,
+        &floorplan,
+        solver,
+        Box::new(NoDtm),
+        cfg,
+        &program,
+    );
+    let report = cosim.run().unwrap();
+
+    assert_eq!(report.intervals.len(), 24);
+    let mut prev_t = 0.0;
+    for s in &report.intervals {
+        assert!(s.t_s > prev_t, "time must advance");
+        prev_t = s.t_s;
+        assert!(s.cycles > 0, "restart keeps the pipeline busy");
+        assert!(s.dynamic_w > 0.0, "active interval must burn dynamic power");
+        assert!(s.clock_w > 0.0);
+        assert!(s.leakage_w > 0.0);
+        assert!(s.peak_k.is_finite() && s.peak_k > AMBIENT_K);
+        assert_eq!(s.die_peak_k.len(), 4);
+        assert!((s.clock_ghz - 3.93).abs() < 1e-12, "NoDtm never touches the clock");
+    }
+    // Heating from ambient: temperature rises across the trace, and the
+    // temperature-dependent leakage rises with it.
+    let first = &report.intervals[0];
+    let last = report.intervals.last().unwrap();
+    assert!(last.peak_k > first.peak_k + 1.0, "stack must heat up");
+    assert!(
+        last.leakage_w > first.leakage_w,
+        "leakage must track temperature: first {:.2} W, last {:.2} W",
+        first.leakage_w,
+        last.leakage_w
+    );
+    // Final per-unit leakage entries are positive and hotter units leak
+    // more than they would at ambient.
+    assert!(!report.unit_leakage_w.is_empty());
+    for &(unit, w) in &report.unit_leakage_w {
+        assert!(w > 0.0, "{unit:?} leaks nothing");
+    }
+}
+
+#[test]
+fn dvfs_ladder_throttles_under_a_tight_cap() {
+    let program = parse_asm(&busy_kernel(100_000)).unwrap();
+    let (scfg, pcfg, leakage, floorplan, solver) = three_d_setup(12);
+    // Cap well below this design's steady-state ceiling: the ladder must
+    // step the clock down and the trace must settle at or below the cap
+    // (one interval of overshoot allowed while the ladder reacts).
+    let cap_k = 350.0;
+    let cfg = CoSimConfig::sampled(0.01, 20_000, 50);
+    let cosim = CoSimulator::new(
+        scfg,
+        pcfg,
+        leakage,
+        &floorplan,
+        solver,
+        Box::new(DvfsLadder::new(cap_k)),
+        cfg,
+        &program,
+    );
+    let report = cosim.run().unwrap();
+    assert!(
+        report.throttled_fraction(4) > 0.2,
+        "ladder never throttled: {:.2}",
+        report.throttled_fraction(4)
+    );
+    assert!(report.mean_clock_ghz() < 3.93 - 1e-9);
+    let tail_peak =
+        report.intervals.iter().rev().take(5).map(|s| s.peak_k).fold(f64::NEG_INFINITY, f64::max);
+    assert!(tail_peak < cap_k + 3.0, "cap not held: tail peak {tail_peak:.1} K");
+}
+
+#[test]
+fn interval_chopping_is_statistically_invisible() {
+    let program = parse_asm(&busy_kernel(4_000)).unwrap();
+    let cfg = SimConfig::three_d(3.93);
+
+    let mut oneshot = SimSession::new(cfg, &program);
+    oneshot.run_interval(u64::MAX / 2).unwrap();
+    assert!(oneshot.finished());
+
+    let mut chopped = SimSession::new(cfg, &program);
+    while !chopped.run_interval(1_000).unwrap() {}
+
+    assert_eq!(oneshot.cycle(), chopped.cycle());
+    assert_eq!(oneshot.stats(), chopped.stats(), "chopping changed the statistics");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// After the workload halts (no restart, power gated), every
+    /// subsequent interval is strictly cooler and the stack relaxes
+    /// toward ambient.
+    #[test]
+    fn zero_activity_intervals_cool_monotonically_toward_ambient(
+        iters in 200u64..2_000,
+        interval_ms in 5.0f64..20.0,
+    ) {
+        let program = parse_asm(&busy_kernel(iters)).unwrap();
+        let (scfg, pcfg, leakage, floorplan, solver) = three_d_setup(8);
+        let mut cfg = CoSimConfig::sampled(interval_ms * 1e-3, 400_000, 40);
+        cfg.restart = false; // run to halt, then cool
+        let cosim = CoSimulator::new(
+            scfg, pcfg, leakage, &floorplan, solver, Box::new(NoDtm), cfg, &program,
+        );
+        let report = cosim.run().unwrap();
+
+        // Find the gated tail: intervals with zero activity and zero power.
+        let idle_from = report
+            .intervals
+            .iter()
+            .position(|s| s.cycles == 0)
+            .expect("workload must halt within the trace");
+        prop_assert!(idle_from >= 1, "first interval must execute something");
+        let tail = &report.intervals[idle_from..];
+        prop_assert!(tail.len() >= 10, "need a cool-down tail to observe");
+        let mut prev = report.intervals[idle_from - 1].peak_k;
+        for s in tail {
+            prop_assert!(s.dynamic_w == 0.0 && s.clock_w == 0.0 && s.leakage_w == 0.0,
+                "gated interval still burns power");
+            prop_assert!(s.peak_k <= prev + 1e-9,
+                "cool-down not monotone: {} after {}", s.peak_k, prev);
+            prop_assert!(s.peak_k >= AMBIENT_K - 1e-6, "cooled below ambient");
+            prev = s.peak_k;
+        }
+        // The tail spans >= 10 intervals of >= 5 ms against a package time
+        // constant of tens of ms: the stack must have shed most of its
+        // excess heat.
+        let first_excess = (report.intervals[idle_from - 1].peak_k - AMBIENT_K).max(1e-12);
+        let last_excess = tail.last().unwrap().peak_k - AMBIENT_K;
+        prop_assert!(
+            last_excess < 0.5 * first_excess,
+            "stack barely cooled: {last_excess:.3} K excess of {first_excess:.3} K"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Temperature-dependent leakage.
+//!
+//! The paper prices leakage as a flat 20 % of baseline power (§4), which
+//! is fine for a single steady-state number but wrong inside a
+//! closed-loop thermal simulation: subthreshold leakage grows
+//! exponentially with temperature, so hot blocks leak more, which heats
+//! them further (the positive feedback loop Yavits et al. show materially
+//! changes 3D conclusions). This module models that with the standard
+//! doubling rule
+//!
+//! ```text
+//! L(unit, T) = L_ref(unit) · 2^((T − T_ref) / T_double)
+//! ```
+//!
+//! where `L_ref` distributes a chip-level calibration wattage over the
+//! floorplan blocks in proportion to their silicon area (leakage is a
+//! per-transistor effect, and transistor count tracks area). The clock
+//! network carries no leakage budget — its power is dynamic and priced
+//! separately — so every *block* in the distribution has a strictly
+//! positive reference wattage and the model is strictly increasing in
+//! temperature for all of them.
+
+use th_stack3d::{Floorplan, Unit};
+
+/// Default reference temperature: the paper's 3D DTM operating region
+/// (§5.3 caps runs at ≈103 °C), so the calibration wattage is what the
+/// chip leaks when hot, matching the flat 20 %-of-baseline figure used
+/// by the steady-state path.
+pub const DEFAULT_T_REF_K: f64 = 375.0;
+
+/// Default doubling temperature: leakage doubles every 20 K, a common
+/// rule of thumb for the 90 nm node.
+pub const DEFAULT_DOUBLING_K: f64 = 20.0;
+
+/// Area-weighted, exponentially temperature-dependent leakage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeakageModel {
+    t_ref_k: f64,
+    doubling_k: f64,
+    /// Chip-total reference watts per unit type (both cores combined),
+    /// in [`Unit::all`] order.
+    unit_ref_w: Vec<(Unit, f64)>,
+}
+
+impl LeakageModel {
+    /// Distributes `chip_leakage_ref_w` (the chip's total leakage at the
+    /// default reference temperature) over the floorplan's blocks by
+    /// area.
+    pub fn new(chip_leakage_ref_w: f64, floorplan: &Floorplan) -> LeakageModel {
+        LeakageModel::with_reference(
+            chip_leakage_ref_w,
+            floorplan,
+            DEFAULT_T_REF_K,
+            DEFAULT_DOUBLING_K,
+        )
+    }
+
+    /// Like [`LeakageModel::new`] with an explicit reference temperature
+    /// and doubling constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the floorplan contains no non-clock blocks or
+    /// `doubling_k` is not positive.
+    pub fn with_reference(
+        chip_leakage_ref_w: f64,
+        floorplan: &Floorplan,
+        t_ref_k: f64,
+        doubling_k: f64,
+    ) -> LeakageModel {
+        assert!(doubling_k > 0.0, "doubling constant must be positive");
+        let mut areas: Vec<(Unit, f64)> = Unit::all()
+            .iter()
+            .filter(|u| **u != Unit::Clock)
+            .map(|u| (*u, 0.0))
+            .collect();
+        for p in floorplan.placements() {
+            if let Some(slot) = areas.iter_mut().find(|(u, _)| *u == p.unit) {
+                slot.1 += p.rect.area();
+            }
+        }
+        let total: f64 = areas.iter().map(|(_, a)| a).sum();
+        assert!(total > 0.0, "floorplan has no leaky blocks");
+        let unit_ref_w = areas
+            .into_iter()
+            .map(|(u, a)| (u, chip_leakage_ref_w * a / total))
+            .collect();
+        LeakageModel { t_ref_k, doubling_k, unit_ref_w }
+    }
+
+    /// The reference temperature, kelvin.
+    pub fn t_ref_k(&self) -> f64 {
+        self.t_ref_k
+    }
+
+    /// The temperature multiplier `2^((T − T_ref)/T_double)`.
+    pub fn scale(&self, t_k: f64) -> f64 {
+        ((t_k - self.t_ref_k) / self.doubling_k).exp2()
+    }
+
+    /// Chip-total reference leakage of `unit` at `T_ref` (zero for the
+    /// clock network).
+    pub fn ref_w(&self, unit: Unit) -> f64 {
+        self.unit_ref_w.iter().find(|(u, _)| *u == unit).map_or(0.0, |(_, w)| *w)
+    }
+
+    /// Chip-total leakage of `unit` when the block sits at `t_k` kelvin.
+    pub fn leakage_w(&self, unit: Unit, t_k: f64) -> f64 {
+        self.ref_w(unit) * self.scale(t_k)
+    }
+
+    /// The leaky unit types and their reference wattages, in
+    /// [`Unit::all`] order.
+    pub fn units(&self) -> &[(Unit, f64)] {
+        &self.unit_ref_w
+    }
+
+    /// Chip-total leakage with every block at the same temperature.
+    pub fn total_w(&self, t_k: f64) -> f64 {
+        self.unit_ref_w.iter().map(|(_, w)| w).sum::<f64>() * self.scale(t_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LeakageModel {
+        LeakageModel::new(18.0, &Floorplan::planar_dual_core())
+    }
+
+    #[test]
+    fn calibration_sums_at_reference() {
+        let m = model();
+        assert!((m.total_w(DEFAULT_T_REF_K) - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_block_leaks_more_when_hot() {
+        let m = model();
+        for (u, _) in m.units() {
+            let cold = m.leakage_w(*u, 300.0);
+            let hot = m.leakage_w(*u, 376.0);
+            assert!(hot > cold, "{u:?}: {hot} !> {cold}");
+            assert!(cold > 0.0, "{u:?} has no leakage at all");
+        }
+    }
+
+    #[test]
+    fn doubling_rule() {
+        let m = model();
+        let t = 340.0;
+        let ratio = m.total_w(t + DEFAULT_DOUBLING_K) / m.total_w(t);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_is_excluded() {
+        assert_eq!(model().ref_w(Unit::Clock), 0.0);
+    }
+
+    #[test]
+    fn stacked_floorplan_keeps_weights() {
+        // Uniform geometric scaling must not change the distribution.
+        let planar = model();
+        let stacked = LeakageModel::new(18.0, &Floorplan::stacked_dual_core());
+        for (u, w) in planar.units() {
+            assert!((stacked.ref_w(*u) - w).abs() < 1e-9, "{u:?}");
+        }
+    }
+}

@@ -30,8 +30,10 @@
 
 mod dies;
 mod energy;
+mod leakage;
 mod model;
 
 pub use dies::{die_fractions, top_die_share};
+pub use leakage::{LeakageModel, DEFAULT_DOUBLING_K, DEFAULT_T_REF_K};
 pub use energy::EnergyTable;
 pub use model::{unit_activity, PowerBreakdown, PowerConfig, PowerModel, UnitActivity};

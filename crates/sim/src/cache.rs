@@ -195,6 +195,14 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Reprices the clock-dependent latencies after a frequency change
+    /// (DVFS): DRAM is fixed in nanoseconds, so its cycle count scales
+    /// with the clock. Cache *contents* are untouched — only timing moves.
+    pub fn retime(&mut self, cfg: &SimConfig) {
+        self.dram_cycles = cfg.dram_cycles();
+        self.l2_latency = cfg.pipeline.l2_latency;
+    }
+
     fn through_l2(&mut self, addr: u64) -> (u64, CacheKind, u64) {
         let (l2_hit, l2_evict) = self.l2.access(addr, false);
         let mut transfers = 1; // the L1 fill itself

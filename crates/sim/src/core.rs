@@ -208,8 +208,117 @@ impl Simulator {
     }
 }
 
-struct Core<'a> {
-    cfg: &'a SimConfig,
+/// An incremental simulation: the same pipeline as [`Simulator::run`],
+/// advanced in caller-controlled cycle intervals with the configuration
+/// adjustable *between* intervals. This is the co-simulation entry point —
+/// a thermal control loop runs an interval, reads the activity delta from
+/// [`SimSession::stats`], and feeds back a DVFS or fetch-throttle decision
+/// before the next interval.
+///
+/// Interval boundaries are invisible to the simulation: chopping a run
+/// into any sequence of intervals (with no knob changes) produces
+/// bit-identical statistics to one uninterrupted [`Simulator::run`].
+///
+/// ```no_run
+/// use th_sim::{SimConfig, SimSession};
+/// # let program = th_isa::parse_asm("halt").unwrap();
+/// let mut sess = SimSession::new(SimConfig::baseline(), &program);
+/// let before = sess.stats().snapshot();
+/// sess.run_interval(100_000).unwrap();
+/// let delta = sess.stats().delta(&before); // this interval's activity
+/// sess.set_clock_ghz(2.0); // throttle the next interval
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimSession {
+    core: Core,
+    finished: bool,
+}
+
+impl SimSession {
+    /// Starts a session at cycle 0 with cold caches and predictors.
+    pub fn new(cfg: SimConfig, program: &Program) -> SimSession {
+        SimSession { core: Core::new(&cfg, program), finished: false }
+    }
+
+    /// Runs at most `cycle_budget` further cycles (at least 1). Returns
+    /// whether the program has finished — halted with the pipeline
+    /// drained. Once finished, further calls are no-ops until
+    /// [`SimSession::restart`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`th_isa::Trap::IllegalPc`] like [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on pipeline deadlock, like [`Simulator::run`].
+    pub fn run_interval(&mut self, cycle_budget: u64) -> Result<bool, Trap> {
+        if !self.finished {
+            let until = self.core.cycle.saturating_add(cycle_budget.max(1));
+            let mut no_warmup = None;
+            self.finished = self.core.run_until(0, u64::MAX, until, &mut no_warmup)?;
+            debug_assert!(no_warmup.is_none());
+        }
+        // Sync the derived counters so `stats()` prices as-is.
+        self.core.stats.cycles = self.core.cycle.max(1);
+        self.core.stats.width_pred = *self.core.width_pred.stats();
+        self.core.stats.pam = *self.core.pam.stats();
+        Ok(self.finished)
+    }
+
+    /// Cumulative statistics since the session started (across restarts).
+    /// Snapshot before an interval and [`SimStats::delta`] after it for
+    /// the per-interval activity.
+    pub fn stats(&self) -> &SimStats {
+        &self.core.stats
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.core.cycle
+    }
+
+    /// Whether the program has halted and the pipeline drained.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The current (possibly DTM-adjusted) configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.core.cfg
+    }
+
+    /// Changes the clock for subsequent intervals (DVFS). Latencies fixed
+    /// in wall-clock time — DRAM — are repriced in cycles; cache and
+    /// predictor state is untouched.
+    pub fn set_clock_ghz(&mut self, ghz: f64) {
+        self.core.cfg.clock_ghz = ghz;
+        self.core.hierarchy.retime(&self.core.cfg);
+    }
+
+    /// Changes the fetch width for subsequent intervals (fetch throttling).
+    /// Clamped to `1..=ifq_size`.
+    pub fn set_fetch_width(&mut self, width: usize) {
+        self.core.cfg.core.fetch_width = width.clamp(1, self.core.cfg.core.ifq_size);
+    }
+
+    /// Re-runs `program` from its entry point with warm caches and
+    /// predictors; cycles and statistics keep accumulating. Use after
+    /// [`SimSession::run_interval`] reports the program finished, to model
+    /// a workload that loops for the whole co-simulation window.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the pipeline has drained.
+    pub fn restart(&mut self, program: &Program) {
+        self.core.restart(program);
+        self.finished = false;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Core {
+    cfg: SimConfig,
     machine: Machine,
     stats: SimStats,
     hierarchy: MemoryHierarchy,
@@ -253,17 +362,19 @@ struct Core<'a> {
     ev_waiters: WaiterTable,
     /// Reused snapshot buffer for the issue stage.
     ready_scratch: Vec<u64>,
+    /// Deadlock-watchdog anchor: the last cycle anything committed.
+    last_commit_cycle: u64,
 }
 
-impl<'a> Core<'a> {
-    fn new(cfg: &'a SimConfig, program: &Program) -> Core<'a> {
+impl Core {
+    fn new(cfg: &SimConfig, program: &Program) -> Core {
         let policy = if cfg.herding.enabled && cfg.herding.rs_herding {
             AllocPolicy::HerdTopFirst
         } else {
             AllocPolicy::RoundRobin
         };
         Core {
-            cfg,
+            cfg: *cfg,
             machine: Machine::new(program),
             stats: SimStats::default(),
             hierarchy: MemoryHierarchy::new(cfg),
@@ -291,14 +402,44 @@ impl<'a> Core<'a> {
             ev_ready: BTreeSet::new(),
             ev_waiters: WaiterTable::new(cfg.core.rob_size, cfg.core.commit_width),
             ready_scratch: Vec::new(),
+            last_commit_cycle: 0,
         }
     }
 
     fn run(mut self, warmup_insts: u64, max_insts: u64) -> Result<SimResult, Trap> {
-        let event = self.cfg.engine == CoreEngine::Event;
-        let mut last_commit_cycle = 0u64;
         let mut warmup_snapshot: Option<SimStats> = None;
-        while self.stats.committed < max_insts {
+        self.run_until(warmup_insts, max_insts, u64::MAX, &mut warmup_snapshot)?;
+        self.stats.cycles = self.cycle.max(1);
+        self.stats.width_pred = *self.width_pred.stats();
+        self.stats.pam = *self.pam.stats();
+        if let Some(snapshot) = warmup_snapshot {
+            // Only subtract if the measurement window is non-empty.
+            if self.stats.committed > snapshot.committed && self.stats.cycles > snapshot.cycles {
+                self.stats.subtract_prefix(&snapshot);
+            }
+        }
+        self.stats.cycles = self.stats.cycles.max(1);
+        Ok(SimResult { clock_ghz: self.cfg.clock_ghz, stats: self.stats })
+    }
+
+    /// The cycle loop, stoppable at an interval boundary. Runs until the
+    /// program drains (returns `true`), `max_insts` commit, or `cycle`
+    /// reaches `until_cycle` (both `false`). Stopping at `until_cycle`
+    /// leaves that cycle's stages unexecuted, so resuming with a later
+    /// bound replays the exact (cycle, stage) sequence of an uninterrupted
+    /// run — interval chopping cannot change the simulation. The event
+    /// engine's idle skip may overshoot `until_cycle`; the overshoot lands
+    /// in the next interval's cycle count, which is the correct accounting
+    /// (those cycles are genuinely idle).
+    fn run_until(
+        &mut self,
+        warmup_insts: u64,
+        max_insts: u64,
+        until_cycle: u64,
+        warmup_snapshot: &mut Option<SimStats>,
+    ) -> Result<bool, Trap> {
+        let event = self.cfg.engine == CoreEngine::Event;
+        while self.stats.committed < max_insts && self.cycle < until_cycle {
             let committed_before = self.stats.committed;
             self.commit();
             if event {
@@ -311,7 +452,7 @@ impl<'a> Core<'a> {
             self.dispatch();
             self.fetch()?;
             if self.stats.committed > committed_before {
-                last_commit_cycle = self.cycle;
+                self.last_commit_cycle = self.cycle;
             }
             if warmup_snapshot.is_none()
                 && warmup_insts > 0
@@ -320,35 +461,58 @@ impl<'a> Core<'a> {
                 self.stats.cycles = self.cycle;
                 self.stats.width_pred = *self.width_pred.stats();
                 self.stats.pam = *self.pam.stats();
-                warmup_snapshot = Some(self.stats.clone());
+                *warmup_snapshot = Some(self.stats.clone());
             }
             if self.fetch_done && self.rob.is_empty() && self.ifq.is_empty() {
-                break;
+                return Ok(true);
             }
             assert!(
-                self.cycle - last_commit_cycle < 200_000,
+                self.cycle - self.last_commit_cycle < 200_000,
                 "pipeline deadlock at cycle {} (rob {}, ifq {})",
                 self.cycle,
                 self.rob.len(),
                 self.ifq.len()
             );
             if event && self.stats.committed < max_insts {
-                self.cycle = self.next_cycle(last_commit_cycle);
+                self.cycle = self.next_cycle(self.last_commit_cycle);
             } else {
                 self.cycle += 1;
             }
         }
-        self.stats.cycles = self.cycle.max(1);
-        self.stats.width_pred = *self.width_pred.stats();
-        self.stats.pam = *self.pam.stats();
-        if let Some(snapshot) = warmup_snapshot {
-            // Only subtract if the measurement window is non-empty.
-            if self.stats.committed > snapshot.committed && self.stats.cycles > snapshot.cycles {
-                self.stats.subtract_prefix(&snapshot);
-            }
-        }
-        self.stats.cycles = self.stats.cycles.max(1);
-        Ok(SimResult { clock_ghz: self.cfg.clock_ghz, stats: self.stats })
+        Ok(false)
+    }
+
+    /// Resets architectural state to re-run `program` from its entry point
+    /// while keeping the microarchitectural state — caches, TLBs, branch
+    /// predictors, width predictor — warm, plus the cycle count and
+    /// statistics, which keep accumulating. Used by [`SimSession`] to loop
+    /// a workload across co-simulation intervals. Only call once the
+    /// pipeline has drained.
+    fn restart(&mut self, program: &Program) {
+        debug_assert!(self.rob.is_empty() && self.ifq.is_empty(), "restart mid-flight");
+        let policy = if self.cfg.herding.enabled && self.cfg.herding.rs_herding {
+            AllocPolicy::HerdTopFirst
+        } else {
+            AllocPolicy::RoundRobin
+        };
+        self.machine = Machine::new(program);
+        self.ifq.clear();
+        self.rob.clear();
+        self.rob_head_seq = 0;
+        self.rename = [None; 64];
+        // Fresh architectural registers are all zero, so the memoization
+        // bits must drop back to their reset (low-width) state.
+        self.width_memo = WidthMemoFile::new(th_isa::Reg::COUNT, self.cfg.herding.policy);
+        self.scheduler = Scheduler::new(self.cfg.core.rs_size, policy);
+        self.lsq = Lsq::new(self.cfg.core.lq_size, self.cfg.core.sq_size);
+        self.ifq_matured = 0;
+        self.fetch_done = false;
+        self.redirect_pending = None;
+        self.ev_heap.clear();
+        self.ev_ready.clear();
+        self.ev_waiters = WaiterTable::new(self.cfg.core.rob_size, self.cfg.core.commit_width);
+        self.fetch_resume_at = self.fetch_resume_at.max(self.cycle);
+        self.last_commit_cycle = self.cycle;
     }
 
     // ---------------------------------------------------------------- fetch

@@ -53,7 +53,7 @@ mod lsq;
 mod scheduler;
 mod stats;
 
-pub use crate::core::{SimResult, Simulator};
+pub use crate::core::{SimResult, SimSession, Simulator};
 pub use branch::{BranchPredictor, BranchUpdate, Btb, BtbOutcome, ReturnStack};
 pub use cache::{Cache, CacheConfig, CacheKind, MemoryHierarchy, Tlb};
 pub use config::{

@@ -217,6 +217,27 @@ impl SimStats {
         1.0 - driven as f64 / possible as f64
     }
 
+    /// A point-in-time copy of the counters, for later use with
+    /// [`SimStats::delta`]. (An explicit name for `clone()` at interval
+    /// boundaries — co-simulation snapshots the counters every interval
+    /// and prices only the work done since the previous snapshot.)
+    pub fn snapshot(&self) -> SimStats {
+        self.clone()
+    }
+
+    /// The counters accumulated since `prev` was snapshotted: the
+    /// per-interval activity delta that drives phase-coupled power.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `prev` is componentwise ≤ `self` (i.e. it really
+    /// is an earlier snapshot of the same run).
+    pub fn delta(&self, prev: &SimStats) -> SimStats {
+        let mut d = self.clone();
+        d.subtract_prefix(prev);
+        d
+    }
+
     /// Subtracts a prefix snapshot from this stats block — used to discard
     /// a warmup period (caches and predictors stay warm; only the
     /// measurement window is reported).

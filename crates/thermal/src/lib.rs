@@ -33,7 +33,7 @@ mod model;
 mod power;
 mod solve;
 
-pub use map::ThermalMap;
+pub use map::{MapView, ThermalMap};
 pub use materials::Material;
 pub use model::{HeatSink, ModelLayer, StackModel};
 pub use power::PowerGrid;

@@ -15,19 +15,35 @@ pub struct ThermalMap {
     temps: Vec<f64>,
 }
 
-impl ThermalMap {
+/// A borrowed temperature field: the same queries as [`ThermalMap`]
+/// without owning (or copying) the underlying kelvin values. Obtained
+/// from [`ThermalMap::view`] or
+/// [`crate::TransientSolver::view`] — the latter lets a control loop
+/// inspect the live field every step without cloning it.
+#[derive(Clone, Copy, Debug)]
+pub struct MapView<'a> {
+    rows: usize,
+    cols: usize,
+    layers: usize,
+    width_m: f64,
+    height_m: f64,
+    power_index: &'a [Option<usize>],
+    temps: &'a [f64],
+}
+
+impl<'a> MapView<'a> {
     pub(crate) fn new(
         rows: usize,
         cols: usize,
         layers: usize,
         width_m: f64,
         height_m: f64,
-        power_index: Vec<Option<usize>>,
-        temps: Vec<f64>,
-    ) -> ThermalMap {
+        power_index: &'a [Option<usize>],
+        temps: &'a [f64],
+    ) -> MapView<'a> {
         assert_eq!(temps.len(), rows * cols * layers, "temperature field shape");
         assert_eq!(power_index.len(), layers);
-        ThermalMap { rows, cols, layers, width_m, height_m, power_index, temps }
+        MapView { rows, cols, layers, width_m, height_m, power_index, temps }
     }
 
     /// Grid rows.
@@ -46,8 +62,8 @@ impl ThermalMap {
     }
 
     /// Raw temperatures, layer-major then row-major.
-    pub fn temps(&self) -> &[f64] {
-        &self.temps
+    pub fn temps(&self) -> &'a [f64] {
+        self.temps
     }
 
     /// Temperature of cell `(layer, row, col)`, kelvin.
@@ -141,6 +157,117 @@ impl ThermalMap {
             out.push('\n');
         }
         out
+    }
+
+    /// An owning copy of the viewed field.
+    pub fn to_map(&self) -> ThermalMap {
+        ThermalMap::new(
+            self.rows,
+            self.cols,
+            self.layers,
+            self.width_m,
+            self.height_m,
+            self.power_index.to_vec(),
+            self.temps.to_vec(),
+        )
+    }
+}
+
+impl ThermalMap {
+    pub(crate) fn new(
+        rows: usize,
+        cols: usize,
+        layers: usize,
+        width_m: f64,
+        height_m: f64,
+        power_index: Vec<Option<usize>>,
+        temps: Vec<f64>,
+    ) -> ThermalMap {
+        assert_eq!(temps.len(), rows * cols * layers, "temperature field shape");
+        assert_eq!(power_index.len(), layers);
+        ThermalMap { rows, cols, layers, width_m, height_m, power_index, temps }
+    }
+
+    /// A borrowed view with the same queries.
+    pub fn view(&self) -> MapView<'_> {
+        MapView {
+            rows: self.rows,
+            cols: self.cols,
+            layers: self.layers,
+            width_m: self.width_m,
+            height_m: self.height_m,
+            power_index: &self.power_index,
+            temps: &self.temps,
+        }
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stack layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers
+    }
+
+    /// Raw temperatures, layer-major then row-major.
+    pub fn temps(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Temperature of cell `(layer, row, col)`, kelvin.
+    pub fn temp_at(&self, layer: usize, row: usize, col: usize) -> f64 {
+        self.view().temp_at(layer, row, col)
+    }
+
+    /// Hottest temperature anywhere in the stack.
+    pub fn max_temp(&self) -> f64 {
+        self.view().max_temp()
+    }
+
+    /// Index `(layer, row, col)` of the hottest cell.
+    pub fn argmax(&self) -> (usize, usize, usize) {
+        self.view().argmax()
+    }
+
+    /// The stack layer carrying power grid `power_index` (die index).
+    pub fn layer_of_power_index(&self, power_index: usize) -> Option<usize> {
+        self.view().layer_of_power_index(power_index)
+    }
+
+    /// Mean temperature of one layer.
+    pub fn layer_mean(&self, layer: usize) -> f64 {
+        self.view().layer_mean(layer)
+    }
+
+    /// Hottest temperature in one layer.
+    pub fn layer_max(&self, layer: usize) -> f64 {
+        self.view().layer_max(layer)
+    }
+
+    /// Coolest temperature in one layer.
+    pub fn layer_min(&self, layer: usize) -> f64 {
+        self.view().layer_min(layer)
+    }
+
+    /// Hottest temperature within the rectangle `[x0,x1) × [y0,y1)`
+    /// (metres) of one layer — used for per-block hotspot queries.
+    /// Cells are selected by centre point; rectangles smaller than a cell
+    /// still claim the cell containing them.
+    pub fn max_in_rect(&self, layer: usize, x0: f64, y0: f64, x1: f64, y1: f64) -> f64 {
+        self.view().max_in_rect(layer, x0, y0, x1, y1)
+    }
+
+    /// Renders one layer as an ASCII heat map with the given temperature
+    /// range (kelvin). Characters run cold→hot through ` .:-=+*#%@`.
+    pub fn render_layer(&self, layer: usize, t_min: f64, t_max: f64) -> String {
+        self.view().render_layer(layer, t_min, t_max)
     }
 }
 

@@ -24,7 +24,7 @@
 //! The original sequential lexicographic sweep is retained as
 //! [`Kernel::Lexicographic`] for cross-validation and benchmarking.
 
-use crate::map::ThermalMap;
+use crate::map::{MapView, ThermalMap};
 use crate::model::StackModel;
 use crate::power::PowerGrid;
 use std::fmt;
@@ -652,15 +652,19 @@ impl SteadySolver {
 pub struct TransientSolver {
     solver: SteadySolver,
     t: Vec<f64>,
+    /// Previous-step field, double-buffered so `step` allocates nothing.
+    t_old: Vec<f64>,
+    /// Per-layer power index, cached so borrowing views needs no rebuild.
+    power_index: Vec<Option<usize>>,
     elapsed_s: f64,
 }
 
 impl TransientSolver {
     /// Starts from a uniform ambient-temperature field.
     pub fn from_ambient(solver: SteadySolver) -> TransientSolver {
-        let n = solver.model.layers().len() * solver.rows * solver.cols;
         let t0 = solver.model.sink().ambient_k;
-        TransientSolver { solver, t: vec![t0; n], elapsed_s: 0.0 }
+        let n = solver.model.layers().len() * solver.rows * solver.cols;
+        TransientSolver::with_field(solver, vec![t0; n])
     }
 
     /// Starts from a previously solved field.
@@ -674,7 +678,12 @@ impl TransientSolver {
             (solver.rows, solver.cols, solver.model.layers().len()),
             "map shape mismatch"
         );
-        TransientSolver { t: map.temps().to_vec(), solver, elapsed_s: 0.0 }
+        TransientSolver::with_field(solver, map.temps().to_vec())
+    }
+
+    fn with_field(solver: SteadySolver, t: Vec<f64>) -> TransientSolver {
+        let power_index = solver.model.layers().iter().map(|l| l.power_index).collect();
+        TransientSolver { t_old: t.clone(), t, power_index, solver, elapsed_s: 0.0 }
     }
 
     /// Simulated time elapsed so far, seconds.
@@ -696,13 +705,38 @@ impl TransientSolver {
         options: &SolveOptions,
     ) -> Result<(), SolveError> {
         let p = self.solver.assemble_power(power)?;
-        let t_old = self.t.clone();
-        self.solver.relax_to_convergence(&mut self.t, &p, Some((dt_s, &t_old)), options)?;
+        self.t_old.copy_from_slice(&self.t);
+        self.solver.relax_to_convergence(&mut self.t, &p, Some((dt_s, &self.t_old)), options)?;
         self.elapsed_s += dt_s;
         Ok(())
     }
 
-    /// The current temperature field.
+    /// Raw temperatures, layer-major then row-major.
+    pub fn temps(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Hottest temperature anywhere in the stack, kelvin.
+    pub fn peak_k(&self) -> f64 {
+        self.t.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// A borrowed view over the current field — the zero-copy way to
+    /// query temperatures between steps.
+    pub fn view(&self) -> MapView<'_> {
+        MapView::new(
+            self.solver.rows,
+            self.solver.cols,
+            self.solver.model.layers().len(),
+            self.solver.model.width_m(),
+            self.solver.model.height_m(),
+            &self.power_index,
+            &self.t,
+        )
+    }
+
+    /// The current temperature field as an owning map (copies the field;
+    /// prefer [`TransientSolver::view`] in hot loops).
     pub fn current_map(&self) -> ThermalMap {
         self.solver.wrap(self.t.clone())
     }
