@@ -83,6 +83,12 @@ impl DtmTrace {
     pub fn max_peak_k(&self) -> f64 {
         self.report.max_peak_k()
     }
+
+    /// Measured register-file top-die power fraction over the trace, from
+    /// the co-simulation's cumulative activity ledger.
+    pub fn rf_top_die(&self) -> f64 {
+        self.report.top_die_fraction(th_stack3d::Unit::RegFile).unwrap_or(f64::NAN)
+    }
 }
 
 /// Assembles the co-simulation pieces for one design point.
@@ -186,7 +192,8 @@ impl fmt::Display for Dtm {
             writeln!(
                 f,
                 "  {:<8} mean clock {:>5.2} GHz (nominal {:.2}), throttled {:>5.1}% of the time, \
-                 max peak {:>6.1} K, delivered {:>6.2} Ginst/core, power swing {:.2}x",
+                 max peak {:>6.1} K, delivered {:>6.2} Ginst/core, power swing {:.2}x, \
+                 RF top-die {:>4.1}% (measured)",
                 t.variant.label(),
                 t.mean_clock_ghz(),
                 t.nominal_ghz(),
@@ -194,6 +201,7 @@ impl fmt::Display for Dtm {
                 t.max_peak_k(),
                 t.delivered_ginst(),
                 t.report.dynamic_power_swing(),
+                100.0 * t.rf_top_die(),
             )?;
         }
         let (noth, th) = (&self.traces[0], &self.traces[1]);

@@ -55,6 +55,10 @@ pub struct Fig10 {
     /// §5.3 ROB width statistics under the 3D design: (low-width reads /
     /// full-width reads, low-width writes / full-width writes).
     pub rob_ratios: (f64, f64),
+    /// Measured top-die power fraction per width-partitioned unit under
+    /// the 3D design, from the activity ledger aggregated over every
+    /// workload — the vertical concentration the thermal maps react to.
+    pub measured_top_die: Vec<(Unit, f64)>,
 }
 
 impl Fig10 {
@@ -162,14 +166,29 @@ pub fn run_with_pool(max_insts: u64, rows: usize, pool: &th_exec::Pool) -> Fig10
     });
     let mut reads = (0u64, 0u64);
     let mut writes = (0u64, 0u64);
+    let mut agg = th_sim::SimStats::default();
     for r in &rob_runs {
         reads.0 += r.core_stats.rob_reads_low;
         reads.1 += r.core_stats.rob_reads_full;
         writes.0 += r.core_stats.rob_writes_low;
         writes.1 += r.core_stats.rob_writes_full;
+        agg.merge(&r.core_stats);
     }
     let rob_ratios =
         (reads.0 as f64 / reads.1.max(1) as f64, writes.0 as f64 / writes.1.max(1) as f64);
+
+    // Measured vertical power concentration from the aggregated ledger.
+    let model = th_power::PowerModel::new();
+    let table = th_power::DieFractionTable::new(
+        &agg,
+        model.energies(),
+        &Variant::ThreeD.power_config(),
+    );
+    let measured_top_die = Unit::all()
+        .iter()
+        .filter(|u| u.is_width_partitioned())
+        .map(|&u| (u, table.fractions(u)[0]))
+        .collect();
 
     Fig10 {
         worst,
@@ -177,6 +196,7 @@ pub fn run_with_pool(max_insts: u64, rows: usize, pool: &th_exec::Pool) -> Fig10
         same_app_workload: common,
         iso_power_peak_k: iso.peak_k(),
         rob_ratios,
+        measured_top_die,
     }
 }
 
@@ -196,8 +216,19 @@ mod tests {
         assert!(th < no_th, "herding must reduce the increase");
         assert!(fig10.iso_power_peak_k > fig10.worst_of(Variant::Base).peak_k());
         assert!(fig10.rob_ratios.0 > 0.0 && fig10.rob_ratios.1 > 0.0);
+        // The ledger must measure a real top-die bias for the register
+        // file under the herded design.
+        let rf = fig10
+            .measured_top_die
+            .iter()
+            .find(|(u, _)| *u == Unit::RegFile)
+            .map(|&(_, f)| f)
+            .unwrap();
+        assert!(rf > 0.4, "measured RF top-die fraction {rf:.3}");
         let text = fig10.to_string();
-        for needle in ["Figure 10(a-c)", "Figure 10(d-f)", "Iso-power", "ROB"] {
+        for needle in
+            ["Figure 10(a-c)", "Figure 10(d-f)", "Iso-power", "ROB", "Measured top-die"]
+        {
             assert!(text.contains(needle), "missing {needle}");
         }
     }
@@ -245,10 +276,15 @@ impl fmt::Display for Fig10 {
             "Iso-power 3D stack (90 W @ 2.66 GHz, 4x density): peak {:.1} K (paper: 418 K)",
             self.iso_power_peak_k
         )?;
-        write!(
+        writeln!(
             f,
             "ROB low/full ratios: reads {:.1}x, writes {:.1}x (paper: ~5x reads, ~2x writes)",
             self.rob_ratios.0, self.rob_ratios.1
-        )
+        )?;
+        write!(f, "Measured top-die power fraction (3D, ledger):")?;
+        for (unit, frac) in &self.measured_top_die {
+            write!(f, " {} {:.0}%", unit.label(), 100.0 * frac)?;
+        }
+        Ok(())
     }
 }

@@ -61,6 +61,9 @@ pub struct Fig8 {
     /// Aggregate width-prediction accuracy across every workload under
     /// the 3D configuration (§3.8 reports ≈97 %).
     pub width_accuracy: f64,
+    /// Register-file top-die power fraction under the 3D configuration,
+    /// measured from the activity ledger aggregated over every workload.
+    pub measured_rf_top_die: f64,
 }
 
 impl Fig8 {
@@ -128,6 +131,7 @@ pub fn run_with_pool(max_insts: u64, pool: &th_exec::Pool) -> Fig8 {
     let mut rows = Vec::new();
     let mut width_correct = 0u64;
     let mut width_total = 0u64;
+    let mut three_d_stats = th_sim::SimStats::default();
     for (wi, w) in workloads.iter().enumerate() {
         let mut ipc = [0.0; 5];
         let mut ipns = [0.0; 5];
@@ -139,10 +143,20 @@ pub fn run_with_pool(max_insts: u64, pool: &th_exec::Pool) -> Fig8 {
                 let wp = &r.core_stats.width_pred;
                 width_correct += wp.correct_low + wp.correct_full;
                 width_total += wp.predictions;
+                three_d_stats.merge(&r.core_stats);
             }
         }
         rows.push(Fig8Row { workload: w.name, suite: w.suite, ipc, ipns });
     }
+    // Measured herding payoff over the whole suite: the register file's
+    // top-die power fraction from the aggregated activity ledger.
+    let model = th_power::PowerModel::new();
+    let measured_rf_top_die = th_power::DieFractionTable::new(
+        &three_d_stats,
+        model.energies(),
+        &Variant::ThreeD.power_config(),
+    )
+    .fractions(th_stack3d::Unit::RegFile)[0];
 
     let mut groups = Vec::new();
     let mut by_suite: BTreeMap<Suite, Vec<&Fig8Row>> = BTreeMap::new();
@@ -161,7 +175,7 @@ pub fn run_with_pool(max_insts: u64, pool: &th_exec::Pool) -> Fig8 {
 
     let width_accuracy =
         if width_total == 0 { 1.0 } else { width_correct as f64 / width_total as f64 };
-    Fig8 { rows, groups, width_accuracy }
+    Fig8 { rows, groups, width_accuracy, measured_rf_top_die }
 }
 
 #[cfg(test)]
@@ -182,6 +196,11 @@ mod tests {
             }
         }
         assert!(fig8.width_accuracy > 0.5 && fig8.width_accuracy <= 1.0);
+        assert!(
+            fig8.measured_rf_top_die > 0.4,
+            "measured RF top-die fraction {:.3}",
+            fig8.measured_rf_top_die
+        );
         let (min, max) = fig8.speedup_range();
         assert!(min <= max);
         assert!(fig8.mean_of_means_speedup() > 1.0, "3D must win on average");
@@ -190,7 +209,9 @@ mod tests {
         assert!(fig8.row("mcf-like").is_some());
         // The report renders every section.
         let text = fig8.to_string();
-        for needle in ["Figure 8(a)", "Figure 8(b)", "Figure 8(c)", "Mean-of-means"] {
+        for needle in
+            ["Figure 8(a)", "Figure 8(b)", "Figure 8(c)", "Mean-of-means", "Measured RF top-die"]
+        {
             assert!(text.contains(needle), "missing {needle}");
         }
     }
@@ -252,10 +273,15 @@ impl fmt::Display for Fig8 {
             min,
             max
         )?;
-        write!(
+        writeln!(
             f,
             "Width prediction accuracy (3D): {:.1}% (paper §3.8: ~97%)",
             100.0 * self.width_accuracy
+        )?;
+        write!(
+            f,
+            "Measured RF top-die power fraction (3D, ledger): {:.1}%",
+            100.0 * self.measured_rf_top_die
         )
     }
 }

@@ -59,6 +59,18 @@ impl Fig9 {
         self.bars.iter().find(|b| b.variant == variant).expect("bar exists")
     }
 
+    /// Measured per-unit top-die power fractions of the full 3D design's
+    /// peak-power run — the herding payoff read straight from the
+    /// activity ledger (width-partitioned units plus the scheduler).
+    pub fn measured_top_die(&self) -> Vec<(Unit, f64)> {
+        let table = self.bar(Variant::ThreeD).result.die_table();
+        Unit::all()
+            .iter()
+            .filter(|u| u.is_width_partitioned() || **u == Unit::Scheduler)
+            .map(|&u| (u, table.fractions(u)[0]))
+            .collect()
+    }
+
     /// Minimum and maximum fractional savings across workloads.
     pub fn savings_range(&self) -> (f64, f64) {
         let mut min = f64::INFINITY;
@@ -136,6 +148,16 @@ mod tests {
         let text = fig9.to_string();
         assert!(text.contains("TOTAL"));
         assert!(text.contains("Per-application"));
+        assert!(text.contains("Measured top-die"));
+        // The herded design must measurably concentrate the register
+        // file's power on the top die (well above the even 25% split).
+        let rf = fig9
+            .measured_top_die()
+            .into_iter()
+            .find(|(u, _)| *u == Unit::RegFile)
+            .map(|(_, f)| f)
+            .unwrap();
+        assert!(rf > 0.4, "measured RF top-die fraction {rf:.3}");
     }
 }
 
@@ -195,6 +217,11 @@ impl fmt::Display for Fig9 {
                 s.three_d_w,
                 100.0 * s.saving()
             )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "Measured top-die power fraction (3D+TH, activity ledger):")?;
+        for (unit, frac) in self.measured_top_die() {
+            writeln!(f, "  {:<12} {:>5.1}%", unit.label(), 100.0 * frac)?;
         }
         Ok(())
     }

@@ -1,7 +1,7 @@
 //! Chip-level runs: simulate one core, price the dual-core chip.
 
 use crate::config::Variant;
-use th_power::{PowerBreakdown, PowerModel};
+use th_power::{DieFractionTable, PowerBreakdown, PowerModel};
 use th_sim::{SimStats, Simulator};
 use th_workloads::Workload;
 
@@ -42,6 +42,25 @@ impl ChipResult {
     /// Cycles of the (representative) core — the chip's time basis.
     pub fn cycles(&self) -> u64 {
         self.core_stats.cycles
+    }
+
+    /// The run's per-unit die-fraction table — measured activity-ledger
+    /// rows when the run recorded them, the modeled reconstruction
+    /// otherwise.
+    pub fn die_table(&self) -> DieFractionTable {
+        let model = PowerModel::new();
+        DieFractionTable::new(&self.chip_stats, model.energies(), &self.variant.power_config())
+    }
+
+    /// Top-die share of the run's dynamic power.
+    pub fn top_die_share(&self) -> f64 {
+        let model = PowerModel::new();
+        th_power::top_die_share(
+            &self.power,
+            &self.chip_stats,
+            model.energies(),
+            &self.variant.power_config(),
+        )
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::config::Variant;
 use crate::run::ChipResult;
-use th_power::{die_fractions, PowerModel};
+use th_power::{DieFractionTable, PowerModel};
 use th_stack3d::{DieStack, Floorplan, Unit};
 use th_thermal::{HeatSink, PowerGrid, SolveOptions, StackModel, SteadySolver, ThermalMap};
 
@@ -66,13 +66,14 @@ pub(crate) fn stack_model(stack: &DieStack, floorplan: &Floorplan) -> StackModel
 ///
 /// Core-private units carry half the chip-level unit power per core; the
 /// shared L2 and the distributed clock carry their full power; vertical
-/// distribution follows [`die_fractions`].
+/// distribution follows one [`DieFractionTable`] built for the run.
 fn power_grids(result: &ChipResult, floorplan: &Floorplan, rows: usize, cols: usize) -> Vec<PowerGrid> {
     let dies = floorplan.dies();
     let (w_m, h_m) = (floorplan.width_mm() * 1e-3, floorplan.height_mm() * 1e-3);
     let mut grids: Vec<PowerGrid> = (0..dies).map(|_| PowerGrid::new(rows, cols, w_m, h_m)).collect();
     let model = PowerModel::new();
     let pcfg = result.variant.power_config();
+    let table = DieFractionTable::new(&result.chip_stats, model.energies(), &pcfg);
     for placement in floorplan.placements() {
         let unit_w = match placement.unit {
             Unit::Clock => result.power.clock_w,
@@ -80,7 +81,7 @@ fn power_grids(result: &ChipResult, floorplan: &Floorplan, rows: usize, cols: us
         };
         // Leakage: distribute over the whole die area like the clock.
         let share = if placement.core.is_some() { 0.5 } else { 1.0 };
-        let fractions = die_fractions(placement.unit, &result.chip_stats, model.energies(), &pcfg);
+        let fractions = table.fractions(placement.unit);
         let watts = unit_w * share * fractions[placement.die];
         let leak = if placement.unit == Unit::Clock {
             // Clock rect covers the die: piggy-back the per-die leakage.

@@ -45,7 +45,7 @@ pub use report::{CoSimReport, IntervalSample};
 
 use std::time::Instant;
 use th_isa::Program;
-use th_power::{die_fractions, LeakageModel, PowerConfig, PowerModel};
+use th_power::{DieFractionTable, LeakageModel, PowerConfig, PowerModel};
 use th_sim::{SimConfig, SimSession};
 use th_stack3d::{DieStack, Floorplan, LayerKind, Unit};
 use th_thermal::{
@@ -362,8 +362,11 @@ impl<'a> CoSimulator<'a> {
         let (rows, cols, w_m, h_m) = self.grid;
         let mut grids: Vec<PowerGrid> =
             (0..self.dies).map(|_| PowerGrid::new(rows, cols, w_m, h_m)).collect();
+        // One fraction table per interval: measured ledger rows (or the
+        // modeled reconstruction) are resolved once, not per paint slot.
+        let table = DieFractionTable::new(&chip, self.model.energies(), &self.pcfg);
         for s in &self.slots {
-            let fractions = die_fractions(s.unit, &chip, self.model.energies(), &self.pcfg);
+            let fractions = table.fractions(s.unit);
             let unit_w = match (&breakdown, s.unit) {
                 (Some(b), Unit::Clock) => b.clock_w,
                 (Some(b), u) => b.unit_w(u),
@@ -452,12 +455,23 @@ impl<'a> CoSimulator<'a> {
             .iter()
             .map(|(u, t)| (*u, self.leakage.leakage_w(*u, *t)))
             .collect();
+        // Measured vertical split over the whole run's cumulative ledger
+        // (fractions are scale-invariant, so one core's ledger stands in
+        // for the chip's).
+        let table =
+            DieFractionTable::new(self.session.stats(), self.model.energies(), &self.pcfg);
+        let unit_top_die = Unit::all()
+            .iter()
+            .filter(|&&u| u != Unit::Clock)
+            .map(|&u| (u, table.fractions(u)[0]))
+            .collect();
         Ok(CoSimReport {
             policy: self.policy.name().to_string(),
             nominal_ghz: self.nominal_ghz,
             intervals,
             unit_peaks_k: self.unit_peaks_k,
             unit_leakage_w,
+            unit_top_die,
             sim_wall_s: self.sim_wall_s,
             solver_wall_s: self.solver_wall_s,
         })

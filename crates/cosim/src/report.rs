@@ -59,6 +59,10 @@ pub struct CoSimReport {
     /// Per-unit leakage at the final temperatures, watts (chip total per
     /// unit; the clock network carries none).
     pub unit_leakage_w: Vec<(Unit, f64)>,
+    /// Per-unit top-die power fraction over the whole run, measured from
+    /// the cumulative activity ledger (modeled reconstruction if the run
+    /// recorded none).
+    pub unit_top_die: Vec<(Unit, f64)>,
     /// Wall-clock seconds spent inside the cycle simulator.
     pub sim_wall_s: f64,
     /// Wall-clock seconds spent inside the thermal solver.
@@ -133,6 +137,11 @@ impl CoSimReport {
         }
     }
 
+    /// Measured top-die power fraction of one unit over the whole run.
+    pub fn top_die_fraction(&self, unit: Unit) -> Option<f64> {
+        self.unit_top_die.iter().find(|(u, _)| *u == unit).map(|&(_, f)| f)
+    }
+
     /// Mean chip leakage power across intervals, watts.
     pub fn mean_leakage_w(&self) -> f64 {
         if self.intervals.is_empty() {
@@ -204,6 +213,7 @@ mod tests {
             intervals: samples,
             unit_peaks_k: vec![],
             unit_leakage_w: vec![],
+            unit_top_die: vec![],
             sim_wall_s: 0.0,
             solver_wall_s: 0.0,
         }

@@ -2,79 +2,180 @@
 //! thermal model consumes.
 
 use crate::energy::EnergyTable;
-use crate::model::{unit_activity, PowerConfig};
+use crate::model::{unit_activity, ActivitySource, PowerConfig, UnitActivity};
 use th_sim::SimStats;
-use th_stack3d::Unit;
+use th_stack3d::{Unit, DIES};
 
-/// How one unit's power distributes over the four dies (die 0 = adjacent
-/// to the heat sink). Fractions sum to 1.
+/// Per-unit die fractions for one run, computed once and read many times.
 ///
-/// * Planar designs put everything on the single die.
-/// * A 3D design without herding splits every partitioned block evenly.
-/// * With herding, the split follows the simulator's statistics: gated
-///   low-width accesses burn on the top die only; the RS allocator's
-///   per-die occupancy decides scheduler power (§3.4); the branch
-///   predictor's direction array sits on the top two dies (§3.7); the
-///   rename dependency-check chain is biased upward (§3.7).
+/// Building the table resolves every unit's vertical power split in a
+/// single pass (one `unit_activity` evaluation on the modeled path, one
+/// ledger read per unit on the measured path); consumers that paint many
+/// placements or price every interval query rows for free instead of
+/// re-deriving the whole activity vector per unit.
+#[derive(Clone, Debug)]
+pub struct DieFractionTable {
+    rows: [[f64; DIES]; Unit::COUNT],
+}
+
+impl DieFractionTable {
+    /// Resolves the per-die split of every unit for `stats` under `cfg`.
+    ///
+    /// * Planar designs put everything on the single die.
+    /// * A 3D design without herding splits every block evenly.
+    /// * With herding, measured ledger rows decide the split for every
+    ///   width-partitioned unit (and the BTB); the scheduler follows its
+    ///   per-die entry residency. Hardcoded splits survive only for the
+    ///   two units whose internal placement the simulator genuinely does
+    ///   not resolve: the branch predictor's direction array sits on the
+    ///   top two dies and the rename dependency-check chain is biased
+    ///   upward (§3.7).
+    pub fn new(stats: &SimStats, energies: &EnergyTable, cfg: &PowerConfig) -> DieFractionTable {
+        let row = if !cfg.three_d {
+            Some([1.0, 0.0, 0.0, 0.0])
+        } else if !cfg.herding {
+            Some([0.25; DIES])
+        } else {
+            None
+        };
+        if let Some(row) = row {
+            let table = DieFractionTable { rows: [row; Unit::COUNT] };
+            table.validate();
+            return table;
+        }
+
+        let even = [0.25; DIES];
+        // One activity evaluation for the whole table (the modeled path
+        // previously rebuilt the full vector per queried unit).
+        let source = cfg.resolve_activity(stats);
+        let modeled_acts = match source {
+            ActivitySource::Modeled => Some(unit_activity(stats, true)),
+            ActivitySource::Ledger => None,
+        };
+
+        let mut rows = [even; Unit::COUNT];
+        for &unit in Unit::all() {
+            rows[unit.index()] = match unit {
+                Unit::Scheduler => scheduler_fractions(stats),
+                Unit::Bpred => [0.35, 0.35, 0.15, 0.15],
+                Unit::Rename => [0.40, 0.20, 0.20, 0.20],
+                _ if unit.is_width_partitioned() || unit == Unit::Btb => {
+                    match (&modeled_acts, source) {
+                        (Some(acts), _) => {
+                            let act = acts
+                                .iter()
+                                .find(|(u, _)| *u == unit)
+                                .map(|&(_, a)| a)
+                                .unwrap_or_default();
+                            modeled_split(unit, act, energies)
+                        }
+                        (None, _) => ledger_fractions(unit, stats, energies),
+                    }
+                }
+                _ => even,
+            };
+        }
+        let table = DieFractionTable { rows };
+        table.validate();
+        table
+    }
+
+    /// How `unit`'s power distributes over the four dies (die 0 =
+    /// adjacent to the heat sink). Fractions sum to 1.
+    pub fn fractions(&self, unit: Unit) -> [f64; DIES] {
+        self.rows[unit.index()]
+    }
+
+    /// Debug-time invariant: every row — including the hardcoded
+    /// Bpred/Rename splits — is a distribution (non-negative, sums to 1
+    /// within 1e-9).
+    fn validate(&self) {
+        if cfg!(debug_assertions) {
+            for &unit in Unit::all() {
+                let row = self.rows[unit.index()];
+                let sum: f64 = row.iter().sum();
+                debug_assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "{unit} die fractions sum to {sum}, not 1: {row:?}"
+                );
+                debug_assert!(
+                    row.iter().all(|f| *f >= 0.0),
+                    "{unit} has a negative die fraction: {row:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Entry-*residency* per die, not allocation counts: a waiting entry
+/// keeps its comparators matching every broadcast cycle, so power follows
+/// occupancy time (falling back to allocation counts if residency was not
+/// recorded).
+fn scheduler_fractions(stats: &SimStats) -> [f64; DIES] {
+    let residency: u64 = stats.rs_occupancy_cycles_per_die.iter().sum();
+    let counts = if residency > 0 {
+        stats.rs_occupancy_cycles_per_die
+    } else {
+        stats.rs_allocs_per_die
+    };
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return [0.25; DIES];
+    }
+    let mut f = [0.0; DIES];
+    for (fr, n) in f.iter_mut().zip(counts) {
+        *fr = n as f64 / total as f64;
+    }
+    f
+}
+
+/// Energy-weighted split from the modeled low/full reconstruction: gated
+/// accesses burn entirely on die 0; full accesses spread evenly.
+fn modeled_split(unit: Unit, act: UnitActivity, energies: &EnergyTable) -> [f64; DIES] {
+    let full_e = act.full * energies.e3d_pj(unit);
+    let low_e = act.low * energies.e3d_low_pj(unit);
+    let total = full_e + low_e;
+    if total <= 0.0 {
+        return [0.25; DIES];
+    }
+    let top = (low_e + 0.25 * full_e) / total;
+    let rest = (1.0 - top) / 3.0;
+    [top, rest, rest, rest]
+}
+
+/// Energy-weighted split straight from the measured ledger row: each
+/// die's share is the energy its recorded touches dissipated (gated
+/// accesses at the low-access energy on the die they landed on, each
+/// full-access die-touch at a quarter of the full-access energy).
+fn ledger_fractions(unit: Unit, stats: &SimStats, energies: &EnergyTable) -> [f64; DIES] {
+    let e_full_touch = energies.e3d_pj(unit) / DIES as f64;
+    let e_low = energies.e3d_low_pj(unit);
+    let row = stats.activity.row(unit);
+    let mut energy = [0.0; DIES];
+    for (e, cell) in energy.iter_mut().zip(row.iter()) {
+        *e = cell.low as f64 * e_low + cell.full as f64 * e_full_touch;
+    }
+    let total: f64 = energy.iter().sum();
+    if total <= 0.0 {
+        return [0.25; DIES];
+    }
+    let mut f = [0.0; DIES];
+    for (fr, e) in f.iter_mut().zip(energy) {
+        *fr = e / total;
+    }
+    f
+}
+
+/// How one unit's power distributes over the four dies. Thin wrapper
+/// building a [`DieFractionTable`] for a single query — callers that need
+/// more than one unit should build the table once instead.
 pub fn die_fractions(
     unit: Unit,
     stats: &SimStats,
     energies: &EnergyTable,
     cfg: &PowerConfig,
 ) -> [f64; 4] {
-    if !cfg.three_d {
-        return [1.0, 0.0, 0.0, 0.0];
-    }
-    let even = [0.25; 4];
-    if !cfg.herding {
-        return even;
-    }
-    match unit {
-        Unit::Scheduler => {
-            // Entry-*residency* per die, not allocation counts: a waiting
-            // entry keeps its comparators matching every broadcast cycle,
-            // so power follows occupancy time (falling back to allocation
-            // counts if residency was not recorded).
-            let residency: u64 = stats.rs_occupancy_cycles_per_die.iter().sum();
-            let counts = if residency > 0 {
-                stats.rs_occupancy_cycles_per_die
-            } else {
-                stats.rs_allocs_per_die
-            };
-            let total: u64 = counts.iter().sum();
-            if total == 0 {
-                return even;
-            }
-            let mut f = [0.0; 4];
-            for (fr, n) in f.iter_mut().zip(counts) {
-                *fr = n as f64 / total as f64;
-            }
-            f
-        }
-        Unit::Bpred => [0.35, 0.35, 0.15, 0.15],
-        Unit::Rename => [0.40, 0.20, 0.20, 0.20],
-        _ if unit.is_width_partitioned() || unit == Unit::Btb || unit == Unit::Lsq => {
-            // Energy-weighted: gated accesses burn entirely on die 0;
-            // full accesses spread evenly.
-            let act = unit_activity(stats, true)
-                .into_iter()
-                .find(|(u, _)| *u == unit)
-                .map(|(_, a)| a)
-                .unwrap_or_default();
-            let e_full = energies.e3d_pj(unit);
-            let e_low = energies.e3d_low_pj(unit);
-            let full_e = act.full * e_full;
-            let low_e = act.low * e_low;
-            let total = full_e + low_e;
-            if total <= 0.0 {
-                return even;
-            }
-            let top = (low_e + 0.25 * full_e) / total;
-            let rest = (1.0 - top) / 3.0;
-            [top, rest, rest, rest]
-        }
-        _ => even,
-    }
+    DieFractionTable::new(stats, energies, cfg).fractions(unit)
 }
 
 /// Sanity helper: the top-die share of total dynamic power, given a full
@@ -85,11 +186,11 @@ pub fn top_die_share(
     energies: &EnergyTable,
     cfg: &PowerConfig,
 ) -> f64 {
+    let table = DieFractionTable::new(stats, energies, cfg);
     let mut top = 0.0;
     let mut total = 0.0;
     for (unit, w) in &breakdown.per_unit {
-        let f = die_fractions(*unit, stats, energies, cfg);
-        top += f[0] * w;
+        top += table.fractions(*unit)[0] * w;
         total += w;
     }
     if total == 0.0 {
@@ -103,6 +204,7 @@ pub fn top_die_share(
 mod tests {
     use super::*;
     use crate::model::PowerModel;
+    use th_stack3d::ActivityMatrix;
 
     fn herded_stats() -> SimStats {
         SimStats {
@@ -156,6 +258,31 @@ mod tests {
     }
 
     #[test]
+    fn ledger_rows_drive_measured_fractions() {
+        let cfg = PowerConfig::three_d(3.93, true);
+        let mut stats = SimStats::default();
+        let mut ledger = ActivityMatrix::new();
+        // 300 gated reads on the top die, 100 full accesses.
+        ledger.add_low(Unit::RegFile, 0, 300);
+        ledger.add_full(Unit::RegFile, 100);
+        stats.activity = ledger;
+        let f = die_fractions(Unit::RegFile, &stats, &EnergyTable::new(), &cfg);
+        assert!(f[0] > 0.5, "measured top-die share {:.3}", f[0]);
+        // The lower three dies carry identical full-access energy.
+        assert!((f[1] - f[2]).abs() < 1e-12 && (f[2] - f[3]).abs() < 1e-12);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_falls_back_to_modeled_split() {
+        let cfg = PowerConfig::three_d(3.93, true);
+        let stats = herded_stats(); // scalar counters only, no ledger
+        assert!(stats.activity.is_empty());
+        let f = die_fractions(Unit::RegFile, &stats, &EnergyTable::new(), &cfg);
+        assert!(f[0] > 0.5, "fallback top-die share {:.2}", f[0]);
+    }
+
+    #[test]
     fn scheduler_follows_allocation() {
         let cfg = PowerConfig::three_d(3.93, true);
         let f = die_fractions(Unit::Scheduler, &herded_stats(), &EnergyTable::new(), &cfg);
@@ -171,6 +298,21 @@ mod tests {
         assert_eq!(die_fractions(Unit::ICache, &stats, &table, &cfg), [0.25; 4]);
         let bpred = die_fractions(Unit::Bpred, &stats, &table, &cfg);
         assert!(bpred[0] + bpred[1] > 0.6);
+    }
+
+    #[test]
+    fn table_matches_per_unit_queries() {
+        let cfg = PowerConfig::three_d(3.93, true);
+        let stats = herded_stats();
+        let energies = EnergyTable::new();
+        let table = DieFractionTable::new(&stats, &energies, &cfg);
+        for &unit in Unit::all() {
+            assert_eq!(
+                table.fractions(unit),
+                die_fractions(unit, &stats, &energies, &cfg),
+                "{unit} row differs"
+            );
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@ mod energy;
 mod leakage;
 mod model;
 
-pub use dies::{die_fractions, top_die_share};
+pub use dies::{die_fractions, top_die_share, DieFractionTable};
 pub use leakage::{LeakageModel, DEFAULT_DOUBLING_K, DEFAULT_T_REF_K};
 pub use energy::EnergyTable;
-pub use model::{unit_activity, PowerBreakdown, PowerConfig, PowerModel, UnitActivity};
+pub use model::{
+    default_activity_source, set_default_activity_source, unit_activity, unit_activity_ledger,
+    ActivitySource, PowerBreakdown, PowerConfig, PowerModel, UnitActivity,
+};

@@ -1,8 +1,55 @@
 //! The power computation: activity × energy × frequency.
 
 use crate::energy::EnergyTable;
+use std::sync::atomic::{AtomicU8, Ordering};
 use th_sim::SimStats;
-use th_stack3d::Unit;
+use th_stack3d::{ActivityMatrix, Unit, DIES};
+
+/// Where per-unit low/full activity comes from when pricing a run.
+///
+/// `Ledger` reads the event-sourced [`ActivityMatrix`] the pipeline
+/// recorded at each access site — the measured path, and the default.
+/// `Modeled` reconstructs the split from aggregate scalar counters via
+/// the width predictor's capture fraction — the original statistical
+/// path, kept as a reference oracle (the scan/event-engine precedent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ActivitySource {
+    /// Price from the measured per-(unit, die) access ledger.
+    #[default]
+    Ledger,
+    /// Reconstruct gating statistically from scalar counters.
+    Modeled,
+}
+
+/// Process-wide activity-source default: 0 = unset, 1 = ledger, 2 = modeled.
+static DEFAULT_ACTIVITY: AtomicU8 = AtomicU8::new(0);
+
+/// The activity source newly built [`PowerConfig`]s start with.
+///
+/// Resolution order: the last [`set_default_activity_source`] call, then
+/// the `TH_ACTIVITY` environment variable (`ledger` or `modeled`), then
+/// [`ActivitySource::Ledger`].
+pub fn default_activity_source() -> ActivitySource {
+    match DEFAULT_ACTIVITY.load(Ordering::Relaxed) {
+        1 => ActivitySource::Ledger,
+        2 => ActivitySource::Modeled,
+        _ => match std::env::var("TH_ACTIVITY").as_deref() {
+            Ok("modeled") => ActivitySource::Modeled,
+            _ => ActivitySource::Ledger,
+        },
+    }
+}
+
+/// Overrides (or with `None`, resets to the environment/default) the
+/// activity source used by subsequently constructed [`PowerConfig`]s.
+pub fn set_default_activity_source(source: Option<ActivitySource>) {
+    let v = match source {
+        None => 0,
+        Some(ActivitySource::Ledger) => 1,
+        Some(ActivitySource::Modeled) => 2,
+    };
+    DEFAULT_ACTIVITY.store(v, Ordering::Relaxed);
+}
 
 /// Which physical design the activity is priced against.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -22,6 +69,10 @@ pub struct PowerConfig {
     /// Clock-power factor of the 3D implementation (§4: footprint shrinks
     /// 4×, power "conservatively" halved).
     pub clock_3d_factor: f64,
+    /// Where the low/full activity split comes from (measured ledger vs
+    /// the statistical reconstruction). Runs whose statistics carry no
+    /// ledger (hand-built [`SimStats`]) fall back to `Modeled`.
+    pub activity: ActivitySource,
 }
 
 impl PowerConfig {
@@ -34,6 +85,7 @@ impl PowerConfig {
             chip_clock_power_2d_w: 0.35 * 90.0,
             chip_leakage_w: 0.20 * 90.0,
             clock_3d_factor: 0.5,
+            activity: default_activity_source(),
         }
     }
 
@@ -41,13 +93,24 @@ impl PowerConfig {
     pub fn three_d(clock_ghz: f64, herding: bool) -> PowerConfig {
         PowerConfig { three_d: true, herding, ..PowerConfig::planar(clock_ghz) }
     }
+
+    /// The activity source actually used for `stats`: the configured one,
+    /// except that stats carrying no ledger fall back to the modeled
+    /// reconstruction.
+    pub fn resolve_activity(&self, stats: &SimStats) -> ActivitySource {
+        match self.activity {
+            ActivitySource::Ledger if !stats.activity.is_empty() => ActivitySource::Ledger,
+            _ => ActivitySource::Modeled,
+        }
+    }
 }
 
 /// Computed power, chip level.
 #[derive(Clone, Debug)]
 pub struct PowerBreakdown {
     /// Dynamic power per unit, watts. Core-private units appear once with
-    /// both cores' activity merged.
+    /// both cores' activity merged. [`Unit::Clock`] has no row — the
+    /// clock network is priced separately as [`PowerBreakdown::clock_w`].
     pub per_unit: Vec<(Unit, f64)>,
     /// Clock network power, watts.
     pub clock_w: f64,
@@ -185,8 +248,35 @@ pub fn unit_activity(stats: &SimStats, herding: bool) -> Vec<(Unit, UnitActivity
             low: 0.0,
         },
     ));
-    v.push((Unit::Clock, UnitActivity::default()));
+    // No Unit::Clock row: the clock network is priced separately
+    // (`PowerBreakdown::clock_w`), not per access.
     v
+}
+
+/// Derives per-unit activity from the measured [`ActivityMatrix`]: the
+/// event-sourced counterpart of [`unit_activity`], with no statistical
+/// reconstruction.
+///
+/// The ledger records *die-touches* for full accesses (one per die
+/// driven), so full-access equivalents are the row sum divided by the
+/// die count. With `herding` false the design cannot gate, so accesses
+/// the machine recorded as gated are priced full-width — the same
+/// pricing-time decision [`unit_activity`] makes.
+pub fn unit_activity_ledger(ledger: &ActivityMatrix, herding: bool) -> Vec<(Unit, UnitActivity)> {
+    Unit::all()
+        .iter()
+        .filter(|&&u| u != Unit::Clock)
+        .map(|&unit| {
+            let full = ledger.full_touches(unit) as f64 / DIES as f64;
+            let low = ledger.low_total(unit) as f64;
+            let act = if herding {
+                UnitActivity { full, low }
+            } else {
+                UnitActivity { full: full + low, low: 0.0 }
+            };
+            (unit, act)
+        })
+        .collect()
 }
 
 /// The power model.
@@ -212,6 +302,10 @@ impl PowerModel {
     /// core, not the sum over cores (both cores of the dual-core
     /// experiments run concurrently).
     ///
+    /// The low/full activity split comes from the source selected by
+    /// `cfg.activity`: the measured per-(unit, die) ledger by default, or
+    /// the capture-fraction reconstruction as the reference oracle.
+    ///
     /// # Panics
     ///
     /// Panics if `cycles` is zero.
@@ -220,7 +314,11 @@ impl PowerModel {
         let herding = cfg.three_d && cfg.herding;
         let f_hz = cfg.clock_ghz * 1e9;
         let per_second = f_hz / cycles as f64;
-        let per_unit = unit_activity(stats, herding)
+        let activity = match cfg.resolve_activity(stats) {
+            ActivitySource::Ledger => unit_activity_ledger(&stats.activity, herding),
+            ActivitySource::Modeled => unit_activity(stats, herding),
+        };
+        let per_unit = activity
             .into_iter()
             .map(|(unit, act)| {
                 let (e_full, e_low) = if cfg.three_d {

@@ -24,6 +24,7 @@ use crate::stats::SimStats;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use th_isa::{DynInst, FuClass, Machine, Op, OpClass, Program, Trap};
+use th_stack3d::Unit;
 use th_width::{
     PartialAddressMemoizer, UpperEncoding, Width, WidthMemoFile, WidthPredictor,
 };
@@ -547,13 +548,19 @@ impl Core {
         let ic = self.hierarchy.fetch(fetch_pc);
         self.stats.icache_accesses += 1;
         self.stats.itlb_accesses += 1;
+        self.stats.activity.record_full(Unit::ICache);
+        self.stats.activity.record_full(Unit::Itlb);
         if ic.tlb_miss {
             self.stats.itlb_misses += 1;
         }
         self.stats.spill_fill_transfers += ic.spill_fills;
+        // I-side spill/fill traffic burns on the shared L2's ports; the
+        // line transfer into the L1-I is already part of the miss access.
+        self.stats.activity.add_full(Unit::L2, ic.spill_fills);
         if ic.level != CacheKind::L1 {
             self.stats.icache_misses += 1;
             self.stats.l2_accesses += 1;
+            self.stats.activity.record_full(Unit::L2);
             if ic.level == CacheKind::Dram {
                 self.stats.l2_misses += 1;
                 self.stats.dram_accesses += 1;
@@ -570,6 +577,7 @@ impl Core {
             }
             let di = self.machine.step()?;
             self.stats.fetched += 1;
+            self.stats.activity.record_full(Unit::Decode);
             let (mispredicted, taken, extra_bubbles) = self.predict_control(&di);
             bubbles += extra_bubbles;
             self.ifq.push_back(FetchedInst {
@@ -608,6 +616,7 @@ impl Core {
             self.stats.cond_branches += 1;
             self.stats.bpred_lookups += 1;
             self.stats.bpred_updates += 1;
+            self.stats.activity.add_full(Unit::Bpred, 2);
             let pred = self.bpred.predict(pc);
             let actual = di.taken;
             self.bpred.update(pc, pred, actual);
@@ -619,6 +628,7 @@ impl Core {
                     Some(t) => {
                         self.stats.btb_hits += 1;
                         if out.needs_lower_dies {
+                            self.stats.activity.record_full(Unit::Btb);
                             if herding {
                                 // §3.7: one-cycle stall to read the upper
                                 // target bits from the lower dies.
@@ -627,6 +637,7 @@ impl Core {
                             }
                         } else {
                             self.stats.btb_partial_target_hits += 1;
+                            self.record_btb_partial_hit(herding);
                         }
                         if actual && t != di.next_pc {
                             mispredicted = true;
@@ -635,12 +646,14 @@ impl Core {
                     None => {
                         // Predicted taken with no target: redirect at
                         // decode once the displacement is known.
+                        self.stats.activity.record_full(Unit::Btb);
                         bubbles += 2;
                     }
                 }
             }
             if actual {
                 self.stats.btb_updates += 1;
+                self.stats.activity.record_full(Unit::Btb);
                 self.btb.update(pc, di.next_pc);
             }
             return (mispredicted, actual && !mispredicted, bubbles);
@@ -660,12 +673,15 @@ impl Core {
                 if out.target != Some(di.next_pc) {
                     bubbles += 1;
                     self.stats.btb_updates += 1;
+                    self.stats.activity.add_full(Unit::Btb, 2); // missed lookup + update
                     self.btb.update(pc, di.next_pc);
                 } else if out.needs_lower_dies && herding {
                     self.stats.btb_full_target_stalls += 1;
+                    self.stats.activity.record_full(Unit::Btb);
                     bubbles += 1;
                 } else {
                     self.stats.btb_partial_target_hits += 1;
+                    self.record_btb_partial_hit(herding);
                 }
                 (false, true, bubbles)
             }
@@ -686,17 +702,21 @@ impl Core {
                         self.stats.btb_hits += 1;
                         if out.needs_lower_dies && herding {
                             self.stats.btb_full_target_stalls += 1;
+                            self.stats.activity.record_full(Unit::Btb);
                             bubbles += 1;
                         } else {
                             self.stats.btb_partial_target_hits += 1;
+                            self.record_btb_partial_hit(herding);
                         }
                         Some(t)
                     } else {
+                        self.stats.activity.record_full(Unit::Btb);
                         None
                     }
                 };
                 self.ibtb.update(pc, di.next_pc);
                 self.stats.btb_updates += 1;
+                self.stats.activity.record_full(Unit::Btb);
                 let mispredicted = predicted != Some(di.next_pc);
                 if mispredicted {
                     self.stats.indirect_mispredicts += 1;
@@ -704,6 +724,17 @@ impl Core {
                 (mispredicted, true, bubbles)
             }
             _ => (false, false, 0),
+        }
+    }
+
+    /// Ledger entry for a BTB hit whose target upper bits were rebuilt
+    /// from the branch PC (§3.7): with herding the lookup stays on the
+    /// top die; a non-herded design drives the whole structure anyway.
+    fn record_btb_partial_hit(&mut self, herding: bool) {
+        if herding {
+            self.stats.activity.record_low(Unit::Btb, 0);
+        } else {
+            self.stats.activity.record_full(Unit::Btb);
         }
     }
 
@@ -803,6 +834,7 @@ impl Core {
             let di = f.di;
             self.stats.dispatched += 1;
             self.stats.rename_ops += 1;
+            self.stats.activity.record_full(Unit::Rename);
 
             // Rename: resolve producers, claim the destination.
             let mut src_seq = [None, None];
@@ -824,8 +856,20 @@ impl Core {
                             "memo bit out of sync with architectural value"
                         );
                         match memo_width {
-                            Width::Low => self.stats.rf_reads_low += 1,
-                            Width::Full => self.stats.rf_reads_full += 1,
+                            Width::Low => {
+                                self.stats.rf_reads_low += 1;
+                                // The memo bit gates the read ports: only
+                                // the top die's bank is driven (§3.1).
+                                if herding {
+                                    self.stats.activity.record_low(Unit::RegFile, 0);
+                                } else {
+                                    self.stats.activity.record_full(Unit::RegFile);
+                                }
+                            }
+                            Width::Full => {
+                                self.stats.rf_reads_full += 1;
+                                self.stats.activity.record_full(Unit::RegFile);
+                            }
                         }
                     }
                 }
@@ -869,6 +913,10 @@ impl Core {
             let rs_die = if needs_rs {
                 let die = self.scheduler.alloc().expect("checked not full");
                 self.stats.rs_allocs_per_die[die] += 1;
+                // An RS entry write costs half a full scheduler access
+                // (the wakeup broadcast is the other half): two
+                // die-touches, landed on the allocation die.
+                self.stats.activity.add_full_on(Unit::Scheduler, die, 2);
                 Some(die)
             } else {
                 None
@@ -1163,6 +1211,10 @@ impl Core {
         // Width-misprediction execution penalties.
         let (slot_di, slot_unsafe_in, slot_unsafe_out, slot_pred_width) =
             (slot.di, slot.unsafe_in, slot.unsafe_out, slot.pred_width);
+        // §3.6: a load read is gated to the top die only when it was
+        // predicted low *and* the line's upper bits are reconstructible
+        // there (partial value encoding / the zero-upper memo bit).
+        let mut load_gated = false;
         if herding {
             if slot_unsafe_in
                 && matches!(op.class(), OpClass::IntAlu | OpClass::IntMul)
@@ -1176,15 +1228,25 @@ impl Core {
                 complete_at += base_latency;
                 self.stats.output_width_replays += 1;
             }
-            if op.class() == OpClass::Load
-                && slot_pred_width == Width::Low
-                && !self.load_serviced_from_top_die(&slot_di)
-            {
-                // §3.6: stall the cache pipeline one cycle; the tag
-                // match already identified the way holding the upper
-                // bits.
-                complete_at += 1;
-                self.stats.dcache_width_stalls += 1;
+            if op.class() == OpClass::Load && slot_pred_width == Width::Low {
+                if self.load_serviced_from_top_die(&slot_di) {
+                    load_gated = true;
+                } else {
+                    // §3.6: stall the cache pipeline one cycle; the tag
+                    // match already identified the way holding the upper
+                    // bits.
+                    complete_at += 1;
+                    self.stats.dcache_width_stalls += 1;
+                }
+            }
+        }
+        // Ledger entry for loads that actually accessed the cache
+        // (forwarded loads are serviced by the store queue instead).
+        if op.class() == OpClass::Load && load_plan.is_some_and(|(_, fwd)| !fwd) {
+            if load_gated {
+                self.stats.activity.record_low(Unit::DCache, 0);
+            } else {
+                self.stats.activity.record_full(Unit::DCache);
             }
         }
 
@@ -1219,17 +1281,25 @@ impl Core {
             FuClass::None => {}
         }
 
-        // Stores: data becomes forwardable once the store executes.
+        // Stores: data becomes forwardable once the store executes. Both
+        // kinds of memory op broadcast their address into the LSQ; PAM
+        // upper-bit matches keep the comparison on the top die (§3.5).
         if op.class() == OpClass::Store {
             let ea = self.rob[idx].di.ea.unwrap();
             let seq = self.rob[idx].di.seq;
             self.lsq.set_store_ready(seq, cycle + lat.agu);
             if self.cfg.herding.pam {
-                self.pam.broadcast_store(ea);
+                let out = self.pam.broadcast_store(ea);
+                self.record_lsq_broadcast(herding && out.upper_match);
+            } else {
+                self.record_lsq_broadcast(false);
             }
         } else if op.class() == OpClass::Load {
             if self.cfg.herding.pam {
-                self.pam.broadcast_load(self.rob[idx].di.ea.unwrap());
+                let out = self.pam.broadcast_load(self.rob[idx].di.ea.unwrap());
+                self.record_lsq_broadcast(herding && out.upper_match);
+            } else {
+                self.record_lsq_broadcast(false);
             }
             if load_plan.is_some_and(|(_, fwd)| fwd) {
                 self.stats.store_forwards += 1;
@@ -1247,11 +1317,24 @@ impl Core {
                     Width::Low
                 };
                 match w {
-                    Width::Low => self.stats.int_ops_low += 1,
-                    Width::Full => self.stats.int_ops_full += 1,
+                    Width::Low => {
+                        self.stats.int_ops_low += 1;
+                        if herding {
+                            self.stats.activity.record_low(Unit::IntExec, 0);
+                        } else {
+                            self.stats.activity.record_full(Unit::IntExec);
+                        }
+                    }
+                    Width::Full => {
+                        self.stats.int_ops_full += 1;
+                        self.stats.activity.record_full(Unit::IntExec);
+                    }
                 }
             }
-            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => self.stats.fp_ops += 1,
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => {
+                self.stats.fp_ops += 1;
+                self.stats.activity.record_full(Unit::FpExec);
+            }
             _ => {}
         }
 
@@ -1279,6 +1362,18 @@ impl Core {
         }
     }
 
+    /// Ledger entry for one LSQ address broadcast: a PAM upper-bit match
+    /// keeps the comparators on the top die; everything else drives the
+    /// whole queue (§3.5). The D-cache access row itself is recorded by
+    /// the caller once the width-gating outcome is known.
+    fn record_lsq_broadcast(&mut self, gated: bool) {
+        if gated {
+            self.stats.activity.record_low(Unit::Lsq, 0);
+        } else {
+            self.stats.activity.record_full(Unit::Lsq);
+        }
+    }
+
     fn record_dcache_access(
         &mut self,
         _idx: usize,
@@ -1288,13 +1383,19 @@ impl Core {
     ) {
         self.stats.dcache_accesses += 1;
         self.stats.dtlb_accesses += 1;
+        self.stats.activity.record_full(Unit::Dtlb);
         if mem.tlb_miss {
             self.stats.dtlb_misses += 1;
         }
         self.stats.spill_fill_transfers += mem.spill_fills;
+        // L1⇄L2 spills/fills move whole lines: all four dies of both
+        // arrays switch (§3.6).
+        self.stats.activity.add_full(Unit::DCache, mem.spill_fills);
+        self.stats.activity.add_full(Unit::L2, mem.spill_fills);
         if mem.level != CacheKind::L1 {
             self.stats.dcache_misses += 1;
             self.stats.l2_accesses += 1;
+            self.stats.activity.record_full(Unit::L2);
             if mem.level == CacheKind::Dram {
                 self.stats.l2_misses += 1;
                 self.stats.dram_accesses += 1;
@@ -1372,31 +1473,38 @@ impl Core {
         }
 
             // Writeback accounting: register file, ROB result field,
-            // bypass network, and the wakeup tag broadcast.
+            // bypass network, and the wakeup tag broadcast. The producing
+            // FU knows the result's width, so a low result drives only
+            // the top die's write ports and bypass wires (§3.1–§3.3).
+            let herding = self.cfg.herding.enabled;
             if let Some(rd) = di.inst.dest() {
                 if rd.is_fp() {
                     self.stats.rf_writes_full += 1;
                     self.stats.rob_writes_full += 1;
                     self.stats.bypass_full += 1;
+                    self.record_writeback(false);
                 } else {
                     match out_width {
                         Width::Low => {
                             self.stats.rf_writes_low += 1;
                             self.stats.rob_writes_low += 1;
                             self.stats.bypass_low += 1;
+                            self.record_writeback(herding);
                         }
                         Width::Full => {
                             self.stats.rf_writes_full += 1;
                             self.stats.rob_writes_full += 1;
                             self.stats.bypass_full += 1;
+                            self.record_writeback(false);
                         }
                     }
                 }
                 self.stats.tag_broadcasts += 1;
                 let dies = self.scheduler.broadcast_dies();
                 for (d, driven) in dies.iter().enumerate() {
-                    if *driven || !self.cfg.herding.enabled {
+                    if *driven || !herding {
                         self.stats.tag_broadcast_die_driven[d] += 1;
+                        self.stats.activity.add_full_on(Unit::Scheduler, d, 1);
                     }
                 }
             }
@@ -1410,6 +1518,21 @@ impl Core {
                     self.stats.cond_mispredicts += 1;
                 }
             }
+    }
+
+    /// Ledger entries for one result writeback: RF write port, ROB result
+    /// field, and the bypass network, gated together when the result is
+    /// low-width under herding.
+    fn record_writeback(&mut self, gated: bool) {
+        if gated {
+            self.stats.activity.record_low(Unit::RegFile, 0);
+            self.stats.activity.record_low(Unit::Rob, 0);
+            self.stats.activity.record_low(Unit::Bypass, 0);
+        } else {
+            self.stats.activity.record_full(Unit::RegFile);
+            self.stats.activity.record_full(Unit::Rob);
+            self.stats.activity.record_full(Unit::Bypass);
+        }
     }
 
     // ------------------------------------------------------- idle skipping
@@ -1598,9 +1721,20 @@ impl Core {
             let di = slot.di;
 
             // ROB result read at retirement (architected-state copy).
+            let herding = self.cfg.herding.enabled;
             match slot.out_width {
-                Width::Low => self.stats.rob_reads_low += 1,
-                Width::Full => self.stats.rob_reads_full += 1,
+                Width::Low => {
+                    self.stats.rob_reads_low += 1;
+                    if herding {
+                        self.stats.activity.record_low(Unit::Rob, 0);
+                    } else {
+                        self.stats.activity.record_full(Unit::Rob);
+                    }
+                }
+                Width::Full => {
+                    self.stats.rob_reads_full += 1;
+                    self.stats.activity.record_full(Unit::Rob);
+                }
             }
 
             match di.inst.op.class() {
@@ -1614,9 +1748,20 @@ impl Core {
                     let ea = di.ea.expect("store");
                     let mem = self.hierarchy.data_access(ea, true);
                     self.record_dcache_access(0, ea, &mem, true);
+                    // Stores know their data width at commit (§3.6).
                     match self.classify(di.rs2_val) {
-                        Width::Low => self.stats.dcache_writes_low += 1,
-                        Width::Full => self.stats.dcache_writes_full += 1,
+                        Width::Low => {
+                            self.stats.dcache_writes_low += 1;
+                            if herding {
+                                self.stats.activity.record_low(Unit::DCache, 0);
+                            } else {
+                                self.stats.activity.record_full(Unit::DCache);
+                            }
+                        }
+                        Width::Full => {
+                            self.stats.dcache_writes_full += 1;
+                            self.stats.activity.record_full(Unit::DCache);
+                        }
                     }
                 }
                 _ => {}

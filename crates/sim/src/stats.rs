@@ -1,6 +1,7 @@
 //! Simulation statistics: everything the power, thermal, and reporting
 //! layers need, as raw counters.
 
+use th_stack3d::ActivityMatrix;
 use th_width::{DieActivity, EncodingStats, PamStats, WidthPredictStats};
 
 /// Counters accumulated over one simulation run.
@@ -117,6 +118,13 @@ pub struct SimStats {
     pub width_pred: WidthPredictStats,
     pub pam: PamStats,
     pub dcache_encodings: EncodingStats,
+
+    /// Event-sourced per-(unit, die) access ledger, recorded at every
+    /// pipeline access site (see `th_stack3d::ActivityMatrix` for the
+    /// die-touch semantics). This is the measured counterpart of the
+    /// scalar width-split counters above: the power model prices watts
+    /// directly from it on the default path.
+    pub activity: ActivityMatrix,
 }
 
 impl SimStats {
@@ -281,6 +289,7 @@ impl SimStats {
         for i in 0..4 {
             self.dcache_encodings.counts[i] -= prefix.dcache_encodings.counts[i];
         }
+        self.activity.subtract_prefix(&prefix.activity);
     }
 
     /// Merges another run's counters into this one (used to aggregate the
@@ -314,6 +323,7 @@ impl SimStats {
         for i in 0..4 {
             self.dcache_encodings.counts[i] += other.dcache_encodings.counts[i];
         }
+        self.activity.merge(&other.activity);
     }
 }
 

@@ -48,6 +48,10 @@ pub enum Unit {
 }
 
 impl Unit {
+    /// Number of modelled units (`Unit::all().len()`), usable in array
+    /// type positions.
+    pub const COUNT: usize = 17;
+
     /// Every modelled unit.
     pub fn all() -> &'static [Unit] {
         use Unit::*;
@@ -55,6 +59,30 @@ impl Unit {
             ICache, Itlb, Btb, Bpred, Decode, Rename, Rob, Scheduler, RegFile, IntExec, FpExec,
             Bypass, Lsq, DCache, Dtlb, L2, Clock,
         ]
+    }
+
+    /// Dense index of this unit in [`Unit::all`] order, `0..COUNT`.
+    pub fn index(self) -> usize {
+        use Unit::*;
+        match self {
+            ICache => 0,
+            Itlb => 1,
+            Btb => 2,
+            Bpred => 3,
+            Decode => 4,
+            Rename => 5,
+            Rob => 6,
+            Scheduler => 7,
+            RegFile => 8,
+            IntExec => 9,
+            FpExec => 10,
+            Bypass => 11,
+            Lsq => 12,
+            DCache => 13,
+            Dtlb => 14,
+            L2 => 15,
+            Clock => 16,
+        }
     }
 
     /// Units that exist once per core (everything except the shared L2 and
@@ -105,6 +133,14 @@ impl fmt::Display for Unit {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_is_dense_and_matches_all_order() {
+        assert_eq!(Unit::all().len(), Unit::COUNT);
+        for (i, &u) in Unit::all().iter().enumerate() {
+            assert_eq!(u.index(), i, "{u} out of order");
+        }
+    }
 
     #[test]
     fn all_units_have_unique_labels() {

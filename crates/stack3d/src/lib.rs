@@ -15,6 +15,8 @@
 //! * [`wire`] — distributed-RC and repeated-wire delay formulas.
 //! * [`Unit`] — the processor blocks shared by the delay, power, and
 //!   floorplan models.
+//! * [`ActivityMatrix`] — the event-sourced per-(unit, die) access
+//!   ledger recorded by the pipeline and priced by `th-power`.
 //! * [`BlockDelayModel`] / [`Table2`] — per-block 2D vs 3D latencies and
 //!   the paper's Table 2.
 //! * [`derive_frequency`] — clock frequency from the two critical loops
@@ -25,6 +27,7 @@
 
 #![deny(missing_docs)]
 
+mod activity;
 mod blocks;
 mod delay;
 mod floorplan;
@@ -33,6 +36,7 @@ mod stack;
 pub mod tech;
 pub mod wire;
 
+pub use activity::{ActivityCell, ActivityMatrix};
 pub use blocks::Unit;
 pub use delay::{BlockDelay, BlockDelayModel, BlockDelaySpec, Table2, Table2Row};
 pub use floorplan::{Floorplan, Placement, Rect};

@@ -1,0 +1,96 @@
+//! Ledger-vs-modeled pricing equivalence (the `TH_ACTIVITY` contract).
+//!
+//! The measured activity ledger replaces the statistical reconstruction
+//! on the default pricing path; the reconstruction survives as a
+//! reference oracle. The two must stay close on the experiment
+//! workloads: the only *systematic* difference is the capture-fraction
+//! heuristic (the modeled path books safely-mispredicted low results as
+//! partially gated, where the ledger knows exactly which accesses were
+//! gated), plus small documented deltas in D-cache/scheduler/LSQ
+//! bookkeeping (see DESIGN.md §11). Empirically the total dynamic-power
+//! gap is ≤ ~5 % on every workload (worst: `yacr2`-like and `blast`-like
+//! at 5.1 %, where mispredicted-width results are common; most workloads
+//! sit below 0.5 %). The bound asserted here is 8 % — headroom over the
+//! measured worst case without letting a real regression through.
+
+use thermal_herding::{run_chip, Variant};
+use th_power::{ActivitySource, PowerModel};
+use th_sim::SimStats;
+use th_stack3d::ActivityMatrix;
+use th_workloads::all_workloads;
+
+/// Documented tolerance between ledger-priced and modeled dynamic power.
+const DYNAMIC_W_TOLERANCE: f64 = 0.08;
+
+#[test]
+fn ledger_and_modeled_watts_agree_on_experiment_workloads() {
+    let model = PowerModel::new();
+    let runs = th_exec::pool().map(&all_workloads(), |w| {
+        run_chip(Variant::ThreeD, w, 40_000).expect("workload runs")
+    });
+    for r in &runs {
+        let mut ledger_cfg = r.variant.power_config();
+        ledger_cfg.activity = ActivitySource::Ledger;
+        let mut modeled_cfg = ledger_cfg;
+        modeled_cfg.activity = ActivitySource::Modeled;
+        assert_eq!(
+            ledger_cfg.resolve_activity(&r.chip_stats),
+            ActivitySource::Ledger,
+            "{}: run recorded no ledger",
+            r.workload
+        );
+        let ledger = model.compute(&r.chip_stats, r.cycles(), &ledger_cfg);
+        let modeled = model.compute(&r.chip_stats, r.cycles(), &modeled_cfg);
+        let rel = (ledger.dynamic_w() - modeled.dynamic_w()).abs() / modeled.dynamic_w();
+        assert!(
+            rel < DYNAMIC_W_TOLERANCE,
+            "{}: ledger {:.2} W vs modeled {:.2} W ({:.1}% apart)",
+            r.workload,
+            ledger.dynamic_w(),
+            modeled.dynamic_w(),
+            100.0 * rel
+        );
+    }
+}
+
+#[test]
+fn empty_ledger_falls_back_to_the_modeled_oracle() {
+    // Hand-built stats (no simulation) carry no ledger; pricing must
+    // silently use the reconstruction instead of returning zeros.
+    let stats = SimStats { cycles: 1000, rf_reads_full: 500, ..Default::default() };
+    let cfg = Variant::ThreeD.power_config();
+    assert_eq!(cfg.resolve_activity(&stats), ActivitySource::Modeled);
+}
+
+#[test]
+fn ledger_merge_is_associative_and_commutative_under_fanout() {
+    // The experiment drivers fan runs out over the th-exec pool and fold
+    // the per-run stats in reduction order; any grouping or order must
+    // produce the same chip-level ledger.
+    let runs = th_exec::pool().map(&all_workloads(), |w| {
+        run_chip(Variant::ThreeD, w, 20_000).expect("workload runs")
+    });
+    let ledgers: Vec<&ActivityMatrix> = runs.iter().map(|r| &r.core_stats.activity).collect();
+    assert!(ledgers.len() >= 3, "need at least three runs to exercise grouping");
+
+    let fold = |order: &[usize]| {
+        let mut acc = ActivityMatrix::new();
+        for &i in order {
+            acc.merge(ledgers[i]);
+        }
+        acc
+    };
+    let forward = fold(&(0..ledgers.len()).collect::<Vec<_>>());
+    let reverse = fold(&(0..ledgers.len()).rev().collect::<Vec<_>>());
+    assert_eq!(forward, reverse, "merge is not commutative");
+
+    // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c), folded pairwise from both ends.
+    let mut left = ledgers[0].clone();
+    left.merge(ledgers[1]);
+    left.merge(ledgers[2]);
+    let mut bc = ledgers[1].clone();
+    bc.merge(ledgers[2]);
+    let mut right = ledgers[0].clone();
+    right.merge(&bc);
+    assert_eq!(left, right, "merge is not associative");
+}
