@@ -12,6 +12,40 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q --release
 
+# Lint gate: the workspace (including tests, benches, and examples)
+# must be clippy-clean.
+cargo clippy --workspace --all-targets -- -D warnings
+
+# One pass of the suite with the execution layer at 4 lanes: the
+# determinism contract says every result is identical to the 1-lane
+# default the first `cargo test` above used.
+TH_THREADS=4 cargo test -q --release
+
+# Sweep orchestrator gate: a fault-injected selftest sweep must retry,
+# degrade the permanently failing shard without aborting its siblings,
+# and — rerun into the same directory with the faults lifted — resume
+# every finished shard from its checkpoint and recompute only the
+# degraded one.
+sweep_dir=$(mktemp -d)/selftest
+sweep_bin=$PWD/target/release/sweep
+TH_SWEEP_FAULT='selftest-2:1,selftest-5:inf' "$sweep_bin" selftest --dir "$sweep_dir" --quiet
+if ! grep -q '"id": "selftest-5", "status": "degraded"' "$sweep_dir"/shards/selftest-5.json; then
+    echo "ci.sh: FAIL - fault-injected shard did not degrade" >&2
+    exit 1
+fi
+"$sweep_bin" selftest --dir "$sweep_dir" --quiet
+if ! grep -q '"id": "selftest-5", "status": "done"' "$sweep_dir"/shards/selftest-5.json; then
+    echo "ci.sh: FAIL - resumed sweep did not recompute the degraded shard" >&2
+    exit 1
+fi
+retries=$(grep -c '"event": "shard_retry"' "$sweep_dir"/telemetry.jsonl || true)
+if [ "$retries" -lt 1 ]; then
+    echo "ci.sh: FAIL - fault injection produced no visible retries" >&2
+    exit 1
+fi
+rm -rf "$(dirname "$sweep_dir")"
+echo "sweep gate: fault-injected selftest degraded, resumed, and recovered"
+
 # Bench smoke: the thermal kernel comparison, just to prove it runs end
 # to end.
 TH_BENCH_FAST=1 cargo bench -p th-bench --bench thermal_sweep

@@ -7,28 +7,69 @@
 //! cargo run --release -p th-bench --bin bench_report [budget] [fig10-rows]
 //! ```
 //!
-//! The parallel leg uses `TH_THREADS` lanes (default: available
-//! parallelism); the sequential leg always uses one. Defaults: a
-//! 60 000-instruction budget and a 16×16 Figure 10 grid, so the report
-//! finishes in minutes rather than the full paper-scale sweep.
+//! The experiment legs run as `th-sweep` preset sweeps (the same
+//! orchestrator the `sweep` binary drives), each timed into a fresh
+//! scratch run directory so no checkpoint resume short-circuits the
+//! measurement. The parallel leg uses `TH_THREADS` lanes (default:
+//! available parallelism); the sequential leg always uses one.
+//! Defaults: a 60 000-instruction budget and a 16×16 Figure 10 grid, so
+//! the report finishes in minutes rather than the full paper-scale
+//! sweep.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 use th_exec::Pool;
 use th_sim::{set_default_engine, CoreEngine};
+use th_sweep::{presets, run_sweep, SweepOptions, SweepOutcome, SweepSpec};
 use th_thermal::{
     Kernel, Material, ModelLayer, PowerGrid, SolveOptions, StackModel, SteadySolver,
 };
-use th_cosim::{CoSimConfig, PolicyKind};
 use th_workloads::workload_by_name;
-use thermal_herding::experiments::{dtm, fig10, fig8, fig9};
 use thermal_herding::Variant;
 
-fn time_s<R>(f: impl FnOnce() -> R) -> f64 {
+fn time_s<R>(f: impl FnOnce() -> R) -> (f64, R) {
     let t0 = Instant::now();
     let r = f();
     std::hint::black_box(&r);
-    t0.elapsed().as_secs_f64()
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+/// A throwaway sweep run directory; removed on drop so back-to-back
+/// timings never resume each other's checkpoints.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!(
+            "th-bench-sweep-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// One timed pass of a preset sweep into a fresh scratch directory.
+/// Every shard must succeed — a degraded shard means the measurement is
+/// not comparable, so fail loudly instead of reporting a skewed number.
+fn timed_sweep(spec: &SweepSpec, pool: &Pool) -> (f64, SweepOutcome) {
+    let scratch = ScratchDir::new(&spec.name);
+    let opts = SweepOptions::default();
+    let (secs, outcome) = time_s(|| {
+        run_sweep(spec, &scratch.0, &opts, pool).expect("sweep runs")
+    });
+    assert_eq!(outcome.degraded(), 0, "{}: degraded shards skew the timing", spec.name);
+    (secs, outcome)
 }
 
 /// A 9-layer, 3-active-die stack for the thermal kernel comparison.
@@ -66,7 +107,7 @@ fn thermal_solve_s(kernel: Kernel, rows: usize) -> f64 {
     // cache warm-up, but the minimum is the stablest point estimate).
     solver.solve_steady(&grids, &opts).expect("converges");
     (0..3)
-        .map(|_| time_s(|| solver.solve_steady(&grids, &opts).expect("converges")))
+        .map(|_| time_s(|| solver.solve_steady(&grids, &opts).expect("converges")).0)
         .fold(f64::INFINITY, f64::min)
 }
 
@@ -79,16 +120,10 @@ fn main() {
     let seq = Pool::new(1);
     let par = Pool::new(par_threads);
 
-    let experiments: [(&str, Box<dyn Fn(&Pool) -> ()>); 3] = [
-        ("fig8", Box::new(move |p: &Pool| {
-            fig8::run_with_pool(budget, p);
-        })),
-        ("fig9", Box::new(move |p: &Pool| {
-            fig9::run_with_pool(budget, p);
-        })),
-        ("fig10", Box::new(move |p: &Pool| {
-            fig10::run_with_pool(budget, rows, p);
-        })),
+    let experiments = [
+        presets::fig8(budget),
+        presets::fig9(budget),
+        presets::fig10(budget, rows),
     ];
 
     let mut json = String::new();
@@ -97,9 +132,10 @@ fn main() {
     writeln!(json, "  \"fig10_rows\": {rows},").unwrap();
     writeln!(json, "  \"threads\": {par_threads},").unwrap();
     writeln!(json, "  \"experiments\": [").unwrap();
-    for (i, (name, runner)) in experiments.iter().enumerate() {
-        eprintln!("timing {name} at 1 thread...");
-        let seq_s = time_s(|| runner(&seq));
+    for (i, spec) in experiments.iter().enumerate() {
+        let name = &spec.name;
+        eprintln!("timing the {name} sweep ({} shards) at 1 thread...", spec.shards.len());
+        let (seq_s, outcome) = timed_sweep(spec, &seq);
         let par_s = if par_threads == 1 {
             // One lane: the parallel pool *is* the sequential pool, so
             // re-timing it would only report scheduling noise as a
@@ -107,14 +143,21 @@ fn main() {
             eprintln!("{name}: 1 thread requested, reusing the sequential timing");
             seq_s
         } else {
-            eprintln!("timing {name} at {par_threads} threads...");
-            time_s(|| runner(&par))
+            eprintln!("timing the {name} sweep at {par_threads} threads...");
+            timed_sweep(spec, &par).0
         };
         let speedup = seq_s / par_s;
         println!(
             "{name:>6}: {seq_s:8.2} s sequential, {par_s:8.2} s at {par_threads} threads \
              ({speedup:.2}x)"
         );
+        if name == "fig10" {
+            // The worst-case row reduction, now computed from sweep
+            // records instead of the experiment's private loop.
+            for (variant, workload, peak_k) in presets::fig10_worst_rows(&outcome) {
+                println!("         worst {variant:<8} {workload:<14} {peak_k:6.1} K");
+            }
+        }
         let comma = if i + 1 < experiments.len() { "," } else { "" };
         writeln!(
             json,
@@ -129,12 +172,12 @@ fn main() {
     // legacy per-cycle scan engine and the event-driven engine. The two
     // produce identical statistics (enforced by the equivalence tests);
     // this block records how much wall-clock the event core saves.
-    eprintln!("timing fig8 under the scan engine...");
+    eprintln!("timing the fig8 sweep under the scan engine...");
     set_default_engine(Some(CoreEngine::Scan));
-    let scan_s = time_s(|| fig8::run_with_pool(budget, &seq));
-    eprintln!("timing fig8 under the event engine...");
+    let (scan_s, _) = timed_sweep(&experiments[0], &seq);
+    eprintln!("timing the fig8 sweep under the event engine...");
     set_default_engine(Some(CoreEngine::Event));
-    let event_s = time_s(|| fig8::run_with_pool(budget, &seq));
+    let (event_s, _) = timed_sweep(&experiments[0], &seq);
     set_default_engine(None);
     println!(
         "engine: fig8 scan {scan_s:.2} s, event {event_s:.2} s ({:.2}x)",
@@ -148,28 +191,19 @@ fn main() {
     )
     .unwrap();
 
-    // Closed-loop co-simulation smoke: a scaled-down DTM run (30
-    // intervals, 20k-cycle slices, 12x12 thermal grid) timed end to end,
-    // with the wall-clock split between the cycle simulator and the
-    // transient solver taken from the report itself.
+    // Closed-loop co-simulation smoke: the dtm-smoke preset (one shard —
+    // 30 intervals, 20k-cycle slices, 12x12 thermal grid) timed end to
+    // end through the orchestrator, with the wall-clock split between
+    // the cycle simulator and the transient solver taken from the
+    // shard's telemetry.
     eprintln!("timing the closed-loop co-simulation smoke...");
-    let w = workload_by_name("mpeg2-like").expect("known workload");
-    let cosim_cfg = CoSimConfig::sampled(0.02, 20_000, 30);
-    let mut cosim_trace = None;
-    let cosim_s = time_s(|| {
-        cosim_trace = Some(dtm::run_variant_scaled(
-            Variant::ThreeDNoTh,
-            &w,
-            376.0,
-            12,
-            PolicyKind::Dvfs.build(376.0),
-            cosim_cfg,
-        ));
-    });
-    let cosim_report = cosim_trace.expect("cosim ran").report;
-    let intervals = cosim_report.intervals.len();
+    let (cosim_s, cosim) = timed_sweep(&presets::dtm_smoke(), &seq);
+    let shard = &cosim.records[0];
+    let intervals = shard.metric("intervals").expect("intervals metric") as usize;
     let intervals_per_s = intervals as f64 / cosim_s;
-    let solver_share = cosim_report.solver_wall_s / cosim_s;
+    let sim_wall_s = shard.timing("sim_wall_s").expect("sim wall time");
+    let solver_wall_s = shard.timing("solver_wall_s").expect("solver wall time");
+    let solver_share = solver_wall_s / cosim_s;
     println!(
         "cosim: {intervals} intervals in {cosim_s:.2} s ({intervals_per_s:.1}/s), \
          solver share {:.0}%",
@@ -178,9 +212,8 @@ fn main() {
     writeln!(
         json,
         "  \"cosim\": {{\"intervals\": {intervals}, \"total_s\": {cosim_s:.4}, \
-         \"intervals_per_s\": {intervals_per_s:.4}, \"sim_wall_s\": {:.4}, \
-         \"solver_wall_s\": {:.4}, \"solver_share\": {solver_share:.4}}},",
-        cosim_report.sim_wall_s, cosim_report.solver_wall_s
+         \"intervals_per_s\": {intervals_per_s:.4}, \"sim_wall_s\": {sim_wall_s:.4}, \
+         \"solver_wall_s\": {solver_wall_s:.4}, \"solver_share\": {solver_share:.4}}},",
     )
     .unwrap();
 
@@ -189,7 +222,9 @@ fn main() {
     // reconstruction. Records the dynamic-watts delta between the two
     // sources and the per-unit top-die power fractions from each — the
     // numbers ci.sh guards (measured RF concentration must never drop
-    // below what the model claims).
+    // below what the model claims). Stays off the orchestrator: it needs
+    // the run's full SimStats, not a shard summary.
+    let w = workload_by_name("mpeg2-like").expect("known workload");
     eprintln!("measuring herding top-die fractions ({})...", w.name);
     let run = thermal_herding::run_chip(Variant::ThreeD, &w, budget).expect("herding run");
     let model = th_power::PowerModel::new();

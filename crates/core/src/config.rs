@@ -42,6 +42,21 @@ impl Variant {
         }
     }
 
+    /// Parses a [`Variant::label`] back into its design point — the
+    /// inverse used by sweep specs and CLI plumbing.
+    pub fn by_label(label: &str) -> Option<Variant> {
+        [
+            Variant::Base,
+            Variant::Th,
+            Variant::Pipe,
+            Variant::Fast,
+            Variant::ThreeDNoTh,
+            Variant::ThreeD,
+        ]
+        .into_iter()
+        .find(|v| v.label() == label)
+    }
+
     /// Whether this point is physically a 4-die stack (for power/thermal
     /// pricing). The `Th`/`Pipe`/`Fast` points are IPC isolation studies
     /// of the planar design.

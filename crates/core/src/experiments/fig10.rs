@@ -200,40 +200,6 @@ pub fn run_with_pool(max_insts: u64, rows: usize, pool: &th_exec::Pool) -> Fig10
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn experiment_structure_is_sound() {
-        // Tiny budget + coarse grid: a smoke test of the full pipeline;
-        // the calibrated numbers are pinned by tests/paper_results.rs.
-        let fig10 = run(15_000, 10);
-        assert_eq!(fig10.worst.len(), 3);
-        assert_eq!(fig10.same_app.len(), 3);
-        let (no_th, th) = fig10.increases();
-        assert!(no_th > 0.0, "stacking must heat the chip");
-        assert!(th < no_th, "herding must reduce the increase");
-        assert!(fig10.iso_power_peak_k > fig10.worst_of(Variant::Base).peak_k());
-        assert!(fig10.rob_ratios.0 > 0.0 && fig10.rob_ratios.1 > 0.0);
-        // The ledger must measure a real top-die bias for the register
-        // file under the herded design.
-        let rf = fig10
-            .measured_top_die
-            .iter()
-            .find(|(u, _)| *u == Unit::RegFile)
-            .map(|&(_, f)| f)
-            .unwrap();
-        assert!(rf > 0.4, "measured RF top-die fraction {rf:.3}");
-        let text = fig10.to_string();
-        for needle in
-            ["Figure 10(a-c)", "Figure 10(d-f)", "Iso-power", "ROB", "Measured top-die"]
-        {
-            assert!(text.contains(needle), "missing {needle}");
-        }
-    }
-}
-
 impl fmt::Display for Fig10 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 10(a-c): worst-case hotspots")?;
@@ -286,5 +252,39 @@ impl fmt::Display for Fig10 {
             write!(f, " {} {:.0}%", unit.label(), 100.0 * frac)?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_structure_is_sound() {
+        // Tiny budget + coarse grid: a smoke test of the full pipeline;
+        // the calibrated numbers are pinned by tests/paper_results.rs.
+        let fig10 = run(15_000, 10);
+        assert_eq!(fig10.worst.len(), 3);
+        assert_eq!(fig10.same_app.len(), 3);
+        let (no_th, th) = fig10.increases();
+        assert!(no_th > 0.0, "stacking must heat the chip");
+        assert!(th < no_th, "herding must reduce the increase");
+        assert!(fig10.iso_power_peak_k > fig10.worst_of(Variant::Base).peak_k());
+        assert!(fig10.rob_ratios.0 > 0.0 && fig10.rob_ratios.1 > 0.0);
+        // The ledger must measure a real top-die bias for the register
+        // file under the herded design.
+        let rf = fig10
+            .measured_top_die
+            .iter()
+            .find(|(u, _)| *u == Unit::RegFile)
+            .map(|&(_, f)| f)
+            .unwrap();
+        assert!(rf > 0.4, "measured RF top-die fraction {rf:.3}");
+        let text = fig10.to_string();
+        for needle in
+            ["Figure 10(a-c)", "Figure 10(d-f)", "Iso-power", "ROB", "Measured top-die"]
+        {
+            assert!(text.contains(needle), "missing {needle}");
+        }
     }
 }

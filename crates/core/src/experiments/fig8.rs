@@ -178,51 +178,6 @@ pub fn run_with_pool(max_insts: u64, pool: &th_exec::Pool) -> Fig8 {
     Fig8 { rows, groups, width_accuracy, measured_rf_top_die }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn sweep_produces_complete_structure() {
-        // A tiny budget keeps this a smoke test of the plumbing; the
-        // full-budget numbers are pinned by tests/paper_results.rs.
-        let fig8 = run(15_000);
-        assert_eq!(fig8.rows.len(), th_workloads::all_workloads().len());
-        assert_eq!(fig8.groups.len(), Suite::all().len());
-        for r in &fig8.rows {
-            for i in 0..5 {
-                assert!(r.ipc[i] > 0.0, "{}: zero IPC at point {i}", r.workload);
-                assert!(r.ipns[i] > 0.0);
-            }
-        }
-        assert!(fig8.width_accuracy > 0.5 && fig8.width_accuracy <= 1.0);
-        assert!(
-            fig8.measured_rf_top_die > 0.4,
-            "measured RF top-die fraction {:.3}",
-            fig8.measured_rf_top_die
-        );
-        let (min, max) = fig8.speedup_range();
-        assert!(min <= max);
-        assert!(fig8.mean_of_means_speedup() > 1.0, "3D must win on average");
-        // Lookups work.
-        assert!(fig8.group(Suite::Media).is_some());
-        assert!(fig8.row("mcf-like").is_some());
-        // The report renders every section.
-        let text = fig8.to_string();
-        for needle in
-            ["Figure 8(a)", "Figure 8(b)", "Figure 8(c)", "Mean-of-means", "Measured RF top-die"]
-        {
-            assert!(text.contains(needle), "missing {needle}");
-        }
-    }
-
-    #[test]
-    fn geomean_basics() {
-        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
-        assert_eq!(geomean(std::iter::empty()), 0.0);
-    }
-}
-
 impl fmt::Display for Fig8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let labels: Vec<&str> = Variant::figure8().iter().map(|v| v.label()).collect();
@@ -283,5 +238,50 @@ impl fmt::Display for Fig8 {
             "Measured RF top-die power fraction (3D, ledger): {:.1}%",
             100.0 * self.measured_rf_top_die
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_complete_structure() {
+        // A tiny budget keeps this a smoke test of the plumbing; the
+        // full-budget numbers are pinned by tests/paper_results.rs.
+        let fig8 = run(15_000);
+        assert_eq!(fig8.rows.len(), th_workloads::all_workloads().len());
+        assert_eq!(fig8.groups.len(), Suite::all().len());
+        for r in &fig8.rows {
+            for i in 0..5 {
+                assert!(r.ipc[i] > 0.0, "{}: zero IPC at point {i}", r.workload);
+                assert!(r.ipns[i] > 0.0);
+            }
+        }
+        assert!(fig8.width_accuracy > 0.5 && fig8.width_accuracy <= 1.0);
+        assert!(
+            fig8.measured_rf_top_die > 0.4,
+            "measured RF top-die fraction {:.3}",
+            fig8.measured_rf_top_die
+        );
+        let (min, max) = fig8.speedup_range();
+        assert!(min <= max);
+        assert!(fig8.mean_of_means_speedup() > 1.0, "3D must win on average");
+        // Lookups work.
+        assert!(fig8.group(Suite::Media).is_some());
+        assert!(fig8.row("mcf-like").is_some());
+        // The report renders every section.
+        let text = fig8.to_string();
+        for needle in
+            ["Figure 8(a)", "Figure 8(b)", "Figure 8(c)", "Mean-of-means", "Measured RF top-die"]
+        {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
     }
 }

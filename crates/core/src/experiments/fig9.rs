@@ -127,40 +127,6 @@ pub fn run_with_pool(max_insts: u64, pool: &th_exec::Pool) -> Fig9 {
     Fig9 { bars, savings }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn bars_and_savings_are_structurally_sound() {
-        let fig9 = run(15_000);
-        assert_eq!(fig9.bars.len(), 3);
-        // Ordering of the three bars must hold even at tiny budgets.
-        let base = fig9.bar(Variant::Base).total_w();
-        let noth = fig9.bar(Variant::ThreeDNoTh).total_w();
-        let th = fig9.bar(Variant::ThreeD).total_w();
-        assert!(base > noth, "planar {base:.1} !> 3D {noth:.1}");
-        assert!(noth >= th, "3D {noth:.1} !>= TH {th:.1}");
-        assert_eq!(fig9.savings.len(), th_workloads::all_workloads().len());
-        let (min, max) = fig9.savings_range();
-        assert!(min > 0.0, "some workload lost power savings: {min:.3}");
-        assert!(max < 0.5, "implausible saving {max:.3}");
-        let text = fig9.to_string();
-        assert!(text.contains("TOTAL"));
-        assert!(text.contains("Per-application"));
-        assert!(text.contains("Measured top-die"));
-        // The herded design must measurably concentrate the register
-        // file's power on the top die (well above the even 25% split).
-        let rf = fig9
-            .measured_top_die()
-            .into_iter()
-            .find(|(u, _)| *u == Unit::RegFile)
-            .map(|(_, f)| f)
-            .unwrap();
-        assert!(rf > 0.4, "measured RF top-die fraction {rf:.3}");
-    }
-}
-
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 9: chip power running mpeg2-like on both cores")?;
@@ -224,5 +190,39 @@ impl fmt::Display for Fig9 {
             writeln!(f, "  {:<12} {:>5.1}%", unit.label(), 100.0 * frac)?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_and_savings_are_structurally_sound() {
+        let fig9 = run(15_000);
+        assert_eq!(fig9.bars.len(), 3);
+        // Ordering of the three bars must hold even at tiny budgets.
+        let base = fig9.bar(Variant::Base).total_w();
+        let noth = fig9.bar(Variant::ThreeDNoTh).total_w();
+        let th = fig9.bar(Variant::ThreeD).total_w();
+        assert!(base > noth, "planar {base:.1} !> 3D {noth:.1}");
+        assert!(noth >= th, "3D {noth:.1} !>= TH {th:.1}");
+        assert_eq!(fig9.savings.len(), th_workloads::all_workloads().len());
+        let (min, max) = fig9.savings_range();
+        assert!(min > 0.0, "some workload lost power savings: {min:.3}");
+        assert!(max < 0.5, "implausible saving {max:.3}");
+        let text = fig9.to_string();
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("Per-application"));
+        assert!(text.contains("Measured top-die"));
+        // The herded design must measurably concentrate the register
+        // file's power on the top die (well above the even 25% split).
+        let rf = fig9
+            .measured_top_die()
+            .into_iter()
+            .find(|(u, _)| *u == Unit::RegFile)
+            .map(|(_, f)| f)
+            .unwrap();
+        assert!(rf > 0.4, "measured RF top-die fraction {rf:.3}");
     }
 }

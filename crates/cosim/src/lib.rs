@@ -58,9 +58,13 @@ use th_thermal::{
 pub const INTERVAL_ENV: &str = "TH_COSIM_INTERVAL";
 
 /// The interval override from [`INTERVAL_ENV`], converted to seconds.
+/// Malformed or non-positive values warn once on stderr (via
+/// [`th_exec::env_knob`]) and leave the configured interval untouched.
 pub fn interval_from_env() -> Option<f64> {
-    let us: f64 = std::env::var(INTERVAL_ENV).ok()?.parse().ok()?;
-    (us > 0.0).then_some(us * 1e-6)
+    th_exec::env_knob(INTERVAL_ENV, "a positive interval in microseconds", |s| {
+        s.trim().parse::<f64>().ok().filter(|us| *us > 0.0)
+    })
+    .map(|us| us * 1e-6)
 }
 
 /// Maps a die-stack layer to its thermal material.
@@ -196,6 +200,9 @@ impl<'a> CoSimulator<'a> {
     /// Assembles the loop. `solver` must carry one active layer per
     /// floorplan die (see [`stack_thermal_model`]); `rows`/`cols` of the
     /// power grids are taken from it.
+    // One argument per coupled model: the constructor IS the wiring
+    // diagram, and a config struct would obscure it.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         sim_cfg: SimConfig,
         power_cfg: PowerConfig,

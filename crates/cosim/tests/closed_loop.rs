@@ -3,7 +3,9 @@
 //! the zero-power cool-down property.
 
 use proptest::prelude::*;
-use th_cosim::{stack_thermal_model, CoSimConfig, CoSimulator, DvfsLadder, NoDtm};
+use th_cosim::{
+    stack_thermal_model, CoSimConfig, CoSimReport, CoSimulator, DvfsLadder, NoDtm, PolicyKind,
+};
 use th_isa::parse_asm;
 use th_power::{LeakageModel, PowerConfig};
 use th_sim::{SimConfig, SimSession};
@@ -121,6 +123,107 @@ fn dvfs_ladder_throttles_under_a_tight_cap() {
     let tail_peak =
         report.intervals.iter().rev().take(5).map(|s| s.peak_k).fold(f64::NEG_INFINITY, f64::max);
     assert!(tail_peak < cap_k + 3.0, "cap not held: tail peak {tail_peak:.1} K");
+}
+
+/// One closed-loop trace under a registry policy, built inside a job of
+/// `pool` so the solver's nested fan-out follows the pool's path: a
+/// 1-lane pool runs the job inline (nested work goes wide on the global
+/// pool), a multi-lane pool marks the job in-flight (nested work runs
+/// inline). Comparing the two exercises both solver paths.
+fn trace_with_pool(kind: PolicyKind, cap_k: f64, steps: usize, pool: &th_exec::Pool) -> CoSimReport {
+    pool.map(&[0], |_| {
+        let program = parse_asm(&busy_kernel(100_000)).unwrap();
+        let (scfg, pcfg, leakage, floorplan, solver) = three_d_setup(10);
+        let cfg = CoSimConfig::sampled(0.01, 20_000, steps);
+        CoSimulator::new(
+            scfg,
+            pcfg,
+            leakage,
+            &floorplan,
+            solver,
+            kind.build(cap_k),
+            cfg,
+            &program,
+        )
+        .run()
+        .unwrap()
+    })
+    .pop()
+    .unwrap()
+}
+
+#[test]
+fn fetch_throttle_holds_the_cap_without_touching_the_clock() {
+    let cap_k = 350.0;
+    let report = trace_with_pool(PolicyKind::Fetch, cap_k, 50, th_exec::pool());
+    // The throttle must engage: a meaningful fraction of intervals run
+    // below the nominal fetch width...
+    assert!(
+        report.throttled_fraction(4) > 0.2,
+        "fetch throttle never engaged: {:.2}",
+        report.throttled_fraction(4)
+    );
+    assert!(report.intervals.iter().any(|s| s.fetch_width < 4), "width never reduced");
+    // ...while the clock domain stays untouched (that is DVFS's knob).
+    for s in &report.intervals {
+        assert!((s.clock_ghz - 3.93).abs() < 1e-12, "fetch throttle moved the clock");
+    }
+    // And the trace must settle at or below the cap once the controller
+    // has reacted (one interval of overshoot allowed, as for DVFS).
+    let tail_peak =
+        report.intervals.iter().rev().take(5).map(|s| s.peak_k).fold(f64::NEG_INFINITY, f64::max);
+    assert!(tail_peak < cap_k + 3.0, "cap not held: tail peak {tail_peak:.1} K");
+}
+
+#[test]
+fn herding_aware_holds_the_cap_with_both_actuators_available() {
+    let cap_k = 350.0;
+    let report = trace_with_pool(PolicyKind::Herding, cap_k, 50, th_exec::pool());
+    assert!(
+        report.throttled_fraction(4) > 0.2,
+        "hybrid never throttled: {:.2}",
+        report.throttled_fraction(4)
+    );
+    let tail_peak =
+        report.intervals.iter().rev().take(5).map(|s| s.peak_k).fold(f64::NEG_INFINITY, f64::max);
+    assert!(tail_peak < cap_k + 3.0, "cap not held: tail peak {tail_peak:.1} K");
+    // The hybrid picks its actuator by hotspot die, so at least one of
+    // the two knobs must have moved off nominal.
+    let moved_clock = report.intervals.iter().any(|s| s.clock_ghz < 3.93 - 1e-9);
+    let moved_fetch = report.intervals.iter().any(|s| s.fetch_width < 4);
+    assert!(moved_clock || moved_fetch, "neither actuator engaged");
+}
+
+#[test]
+fn fetch_and_herding_traces_are_bit_identical_across_thread_counts() {
+    for kind in [PolicyKind::Fetch, PolicyKind::Herding] {
+        let seq = trace_with_pool(kind, 350.0, 20, &th_exec::Pool::new(1));
+        let par = trace_with_pool(kind, 350.0, 20, &th_exec::Pool::new(4));
+        assert_eq!(seq.intervals.len(), par.intervals.len(), "{}: interval counts", kind.name());
+        for (i, (a, b)) in seq.intervals.iter().zip(&par.intervals).enumerate() {
+            assert_eq!(a.committed, b.committed, "{} interval {i}: committed", kind.name());
+            assert_eq!(a.cycles, b.cycles, "{} interval {i}: cycles", kind.name());
+            assert_eq!(a.fetch_width, b.fetch_width, "{} interval {i}: fetch", kind.name());
+            for (field, x, y) in [
+                ("t_s", a.t_s, b.t_s),
+                ("peak_k", a.peak_k, b.peak_k),
+                ("clock_ghz", a.clock_ghz, b.clock_ghz),
+                ("dynamic_w", a.dynamic_w, b.dynamic_w),
+                ("clock_w", a.clock_w, b.clock_w),
+                ("leakage_w", a.leakage_w, b.leakage_w),
+            ] {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{} interval {i}: {field} differs: {x} vs {y}",
+                    kind.name()
+                );
+            }
+            for (d, (x, y)) in a.die_peak_k.iter().zip(&b.die_peak_k).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{} interval {i}: die {d}", kind.name());
+            }
+        }
+    }
 }
 
 #[test]

@@ -308,12 +308,53 @@ fn worker_loop(shared: &Shared, lane: usize) {
     }
 }
 
-/// Thread count from `TH_THREADS`, defaulting to available parallelism.
-pub fn threads_from_env() -> usize {
-    match std::env::var("TH_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+/// Reads and parses an environment knob, warning **once per variable**
+/// on stderr when a value is present but malformed (previously such
+/// values were silently swallowed and the default took over without a
+/// trace). An unset variable is a silent `None`; `parse` returning
+/// `None` marks the value malformed.
+///
+/// `expected` describes the accepted format for the warning message,
+/// e.g. `"a thread count >= 1"`.
+pub fn env_knob<T>(name: &str, expected: &str, parse: impl FnOnce(&str) -> Option<T>) -> Option<T> {
+    let value = std::env::var(name).ok()?;
+    match parse(&value) {
+        Some(v) => Some(v),
+        None => {
+            let mut warned = knob_warnings().lock().unwrap_or_else(|e| e.into_inner());
+            if warned.insert(name.to_string()) {
+                eprintln!(
+                    "warning: ignoring malformed {name}={value:?}: expected {expected}"
+                );
+            }
+            None
+        }
     }
+}
+
+/// [`env_knob`] for any [`std::str::FromStr`] type (trimmed input).
+pub fn env_knob_parse<T: std::str::FromStr>(name: &str, expected: &str) -> Option<T> {
+    env_knob(name, expected, |s| s.trim().parse().ok())
+}
+
+/// Names that have already produced a malformed-value warning.
+fn knob_warnings() -> &'static Mutex<std::collections::BTreeSet<String>> {
+    static WARNED: OnceLock<Mutex<std::collections::BTreeSet<String>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(std::collections::BTreeSet::new()))
+}
+
+#[cfg(test)]
+fn knob_warned(name: &str) -> bool {
+    knob_warnings().lock().unwrap_or_else(|e| e.into_inner()).contains(name)
+}
+
+/// Thread count from `TH_THREADS`, defaulting to available parallelism.
+/// Malformed values (unparsable, or zero) warn once and fall back.
+pub fn threads_from_env() -> usize {
+    env_knob("TH_THREADS", "a thread count >= 1", |s| {
+        s.trim().parse::<usize>().ok().filter(|n| *n >= 1)
+    })
+    .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// The process-wide pool, lazily built from [`threads_from_env`].
@@ -411,5 +452,39 @@ mod tests {
     fn env_override_parses() {
         // Only checks the parser default path: no TH_THREADS → >= 1.
         assert!(threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn knob_unset_is_silently_none() {
+        assert_eq!(env_knob_parse::<usize>("TH_TEST_KNOB_UNSET", "an integer"), None);
+        assert!(!knob_warned("TH_TEST_KNOB_UNSET"));
+    }
+
+    #[test]
+    fn knob_parses_well_formed_values() {
+        std::env::set_var("TH_TEST_KNOB_OK", " 42 ");
+        assert_eq!(env_knob_parse::<usize>("TH_TEST_KNOB_OK", "an integer"), Some(42));
+        assert!(!knob_warned("TH_TEST_KNOB_OK"));
+    }
+
+    #[test]
+    fn knob_warns_once_on_malformed_values() {
+        std::env::set_var("TH_TEST_KNOB_BAD", "not-a-number");
+        for _ in 0..3 {
+            assert_eq!(env_knob_parse::<usize>("TH_TEST_KNOB_BAD", "an integer"), None);
+        }
+        assert!(knob_warned("TH_TEST_KNOB_BAD"));
+    }
+
+    #[test]
+    fn knob_domain_filter_marks_value_malformed() {
+        // A parsable value outside the accepted domain (here: zero) is
+        // rejected — and warned about — exactly like garbage.
+        std::env::set_var("TH_TEST_KNOB_ZERO", "0");
+        let got = env_knob("TH_TEST_KNOB_ZERO", "a count >= 1", |s| {
+            s.trim().parse::<usize>().ok().filter(|n| *n >= 1)
+        });
+        assert_eq!(got, None);
+        assert!(knob_warned("TH_TEST_KNOB_ZERO"));
     }
 }

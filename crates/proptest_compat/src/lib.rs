@@ -82,6 +82,54 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (the usual `prop_map` adaptor).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map: f }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type — the
+/// backing type of [`prop_oneof!`].
+pub struct Union<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let pick = rng.0.gen_range(0..self.0.len());
+        self.0[pick].new_value(rng)
+    }
+}
+
+/// Type-erases a strategy for [`Union`] membership.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Uniform choice among strategies producing the same value type.
+/// (Real proptest's per-arm weights are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::boxed($strategy)),+])
+    };
 }
 
 macro_rules! range_strategy {
@@ -434,8 +482,8 @@ pub mod array {
 /// The usual glob-import surface.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
@@ -486,6 +534,10 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (a, b) = (&$a, &$b);
         $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
     }};
 }
 

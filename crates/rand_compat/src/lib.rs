@@ -290,9 +290,13 @@ macro_rules! uniform_int {
                     return <$ty as Standard>::sample(rng);
                 }
                 let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
-                    let ints_to_reject =
-                        (<$unsigned>::MAX - range as $unsigned + 1) % range as $unsigned;
-                    (<$unsigned>::MAX - ints_to_reject) as $u_large
+                    // The modulus zone must live in the $u_large domain
+                    // the widening multiply's low word is compared in —
+                    // a $unsigned-domain zone would reject almost every
+                    // draw and spin for millions of iterations.
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
                 } else {
                     (range << range.leading_zeros()).wrapping_sub(1)
                 };
@@ -410,6 +414,23 @@ mod tests {
             assert!((-9..=9).contains(&w));
             let f = rng.gen_range(-1.0..1.0);
             assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn narrow_integer_ranges_terminate_and_cover_their_domain() {
+        // Regression: the 8/16-bit modulus zone was computed in the
+        // narrow domain, rejecting ~all u32 draws and spinning for
+        // millions of iterations per sample.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [0u32; 16];
+        for _ in 0..10_000 {
+            seen[rng.gen_range(0u8..16) as usize] += 1;
+            let v = rng.gen_range(-5i16..=5);
+            assert!((-5..=5).contains(&v));
+        }
+        for (i, &n) in seen.iter().enumerate() {
+            assert!(n > 0, "u8 range never produced {i}");
         }
     }
 

@@ -281,7 +281,7 @@ mod tests {
         // B2 is taken iff B1 was taken: global history captures this.
         let mut p = BranchPredictor::new();
         let mut correct = 0;
-        let mut b1 = false;
+        let mut b1;
         for i in 0..600u32 {
             b1 = (i * 7 + i / 3) % 3 == 0; // pseudo-random-ish
             let pr1 = p.predict(0x100);

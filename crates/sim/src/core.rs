@@ -1626,17 +1626,13 @@ impl Core {
                     return None;
                 }
                 let op = front.di.inst.op;
-                let blocked = if self.rob.len() >= self.cfg.core.rob_size {
-                    true
-                } else if op.fu_class() != FuClass::None && self.scheduler.is_full() {
-                    true
-                } else {
-                    match op.class() {
+                let blocked = self.rob.len() >= self.cfg.core.rob_size
+                    || (op.fu_class() != FuClass::None && self.scheduler.is_full())
+                    || match op.class() {
                         OpClass::Load => !self.lsq.lq_has_space(),
                         OpClass::Store => !self.lsq.sq_has_space(),
                         _ => false,
-                    }
-                };
+                    };
                 if !blocked {
                     return None;
                 }

@@ -64,7 +64,7 @@ impl Lsq {
     }
 
     /// Current load-queue occupancy.
-    #[cfg_attr(not(test), allow(dead_code))]
+    #[allow(dead_code)]
     pub fn lq_occupancy(&self) -> usize {
         self.lq_occupancy
     }

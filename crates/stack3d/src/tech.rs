@@ -72,6 +72,6 @@ mod tests {
 
     #[test]
     fn via_is_sub_fo4() {
-        assert!(D2D_VIA_PS < FO4_PS);
+        const { assert!(D2D_VIA_PS < FO4_PS) }
     }
 }

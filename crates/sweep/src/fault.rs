@@ -1,0 +1,166 @@
+//! Deterministic fault injection for sweep shards.
+//!
+//! The `TH_SWEEP_FAULT` environment variable (or an explicit
+//! [`FaultPlan`]) forces chosen shards to fail on demand, so the retry /
+//! degrade / resume machinery is testable without flaky timing tricks.
+//!
+//! Syntax: comma-separated rules, each `pattern:count` —
+//!
+//! * `pattern` matches a shard id exactly, or as a prefix when it ends
+//!   in `*` (`fig8/*`).
+//! * `count` is how many leading attempts of each matching shard fail
+//!   (`2` = the first two attempts fail, the third runs normally), or
+//!   `inf` for every attempt (a permanently failing shard).
+//! * a trailing `!` makes the injected failure a **panic** instead of a
+//!   returned error, exercising the shard boundary's unwind catch:
+//!   `selftest-3:1!`.
+//!
+//! Example: `TH_SWEEP_FAULT='selftest-2:1,selftest-5:inf!'`.
+
+/// How an injected failure presents at the shard boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The shard returns an error.
+    Error,
+    /// The shard panics (caught by the orchestrator's unwind boundary).
+    Panic,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct FaultRule {
+    pattern: String,
+    /// Attempts 1..=n fail; `None` means every attempt fails.
+    attempts: Option<u32>,
+    mode: FaultMode,
+}
+
+impl FaultRule {
+    fn matches(&self, shard_id: &str) -> bool {
+        match self.pattern.strip_suffix('*') {
+            Some(prefix) => shard_id.starts_with(prefix),
+            None => self.pattern == shard_id,
+        }
+    }
+}
+
+/// A parsed set of fault-injection rules (empty by default: no faults).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+/// The fault-injection environment knob.
+pub const FAULT_ENV: &str = "TH_SWEEP_FAULT";
+
+impl FaultPlan {
+    /// Parses the rule syntax described in the module docs. An empty
+    /// (or all-whitespace) string is the empty plan.
+    pub fn parse(text: &str) -> Option<FaultPlan> {
+        let mut rules = Vec::new();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (pattern, count) = part.rsplit_once(':')?;
+            let pattern = pattern.trim();
+            if pattern.is_empty() {
+                return None;
+            }
+            let count = count.trim();
+            let (count, mode) = match count.strip_suffix('!') {
+                Some(c) => (c, FaultMode::Panic),
+                None => (count, FaultMode::Error),
+            };
+            let attempts = if count == "inf" {
+                None
+            } else {
+                Some(count.parse::<u32>().ok().filter(|n| *n >= 1)?)
+            };
+            rules.push(FaultRule { pattern: pattern.to_string(), attempts, mode });
+        }
+        Some(FaultPlan { rules })
+    }
+
+    /// The plan from [`FAULT_ENV`]; malformed values warn once on stderr
+    /// and yield the empty plan.
+    pub fn from_env() -> FaultPlan {
+        th_exec::env_knob(FAULT_ENV, "rules like 'shard-id:2' or 'prefix*:inf!'", |s| {
+            FaultPlan::parse(s)
+        })
+        .unwrap_or_default()
+    }
+
+    /// Whether the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Whether `attempt` (1-based) of `shard_id` should fail, and how.
+    /// The first matching rule wins.
+    pub fn should_fail(&self, shard_id: &str, attempt: u32) -> Option<FaultMode> {
+        self.rules
+            .iter()
+            .find(|r| r.matches(shard_id))
+            .filter(|r| r.attempts.is_none_or(|n| attempt <= n))
+            .map(|r| r.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fails() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.should_fail("anything", 1), None);
+    }
+
+    #[test]
+    fn counted_rule_fails_leading_attempts_only() {
+        let plan = FaultPlan::parse("shard-a:2").unwrap();
+        assert_eq!(plan.should_fail("shard-a", 1), Some(FaultMode::Error));
+        assert_eq!(plan.should_fail("shard-a", 2), Some(FaultMode::Error));
+        assert_eq!(plan.should_fail("shard-a", 3), None);
+        assert_eq!(plan.should_fail("shard-b", 1), None);
+    }
+
+    #[test]
+    fn inf_rule_fails_every_attempt() {
+        let plan = FaultPlan::parse("shard-a:inf").unwrap();
+        for attempt in 1..100 {
+            assert_eq!(plan.should_fail("shard-a", attempt), Some(FaultMode::Error));
+        }
+    }
+
+    #[test]
+    fn bang_suffix_selects_panic_mode() {
+        let plan = FaultPlan::parse("a:1!, b:inf!").unwrap();
+        assert_eq!(plan.should_fail("a", 1), Some(FaultMode::Panic));
+        assert_eq!(plan.should_fail("a", 2), None);
+        assert_eq!(plan.should_fail("b", 7), Some(FaultMode::Panic));
+    }
+
+    #[test]
+    fn prefix_patterns_match_by_prefix() {
+        let plan = FaultPlan::parse("fig8/*:1").unwrap();
+        assert_eq!(plan.should_fail("fig8/gzip-like/Base", 1), Some(FaultMode::Error));
+        assert_eq!(plan.should_fail("fig9/gzip-like/Base", 1), None);
+    }
+
+    #[test]
+    fn shard_ids_containing_colons_parse() {
+        // rsplit_once: only the last ':' separates the count.
+        let plan = FaultPlan::parse("ns:shard:1").unwrap();
+        assert_eq!(plan.should_fail("ns:shard", 1), Some(FaultMode::Error));
+    }
+
+    #[test]
+    fn malformed_rules_are_rejected() {
+        for bad in ["shard", "shard:", "shard:0", ":1", "shard:x", "shard:-1"] {
+            assert_eq!(FaultPlan::parse(bad), None, "accepted {bad:?}");
+        }
+    }
+}

@@ -363,6 +363,9 @@ impl SteadySolver {
     /// `field` must point to the full temperature vector; no other
     /// thread may concurrently write cells of this line's color or read
     /// cells this call writes (guaranteed by the red-black schedule).
+    // The argument list mirrors the solver's hot-loop state; bundling it
+    // into a struct would just rename the registers.
+    #[allow(clippy::too_many_arguments)]
     unsafe fn relax_line(
         &self,
         field: FieldPtr,

@@ -1,0 +1,208 @@
+//! Cross-module properties of the width machinery, pinned against naive
+//! reference models: the PAM's 48-bit upper-match against a full 64-bit
+//! address compare, the L1D partial-value encoding against exhaustive
+//! reconstruction, and the width memo file against a shadow register
+//! file replaying the same write sequence.
+
+use proptest::prelude::*;
+use th_width::{
+    MemoCheck, PartialAddressMemoizer, UpperEncoding, Width, WidthMemoFile, WidthPolicy,
+};
+
+/// One LSQ event for the PAM model comparison.
+#[derive(Clone, Debug)]
+enum PamOp {
+    Load(u64),
+    Store(u64),
+    RecordOnly(u64),
+}
+
+/// Mixes far-apart random addresses with same-page neighbours so both
+/// match and miss paths are exercised in every sequence.
+fn pam_addr() -> impl Strategy<Value = u64> {
+    prop_oneof![any::<u64>(), any::<u64>().prop_map(|a| a & 0xffff_ffff)]
+}
+
+fn pam_op() -> impl Strategy<Value = PamOp> {
+    prop_oneof![
+        pam_addr().prop_map(PamOp::Load),
+        pam_addr().prop_map(PamOp::Store),
+        pam_addr().prop_map(PamOp::RecordOnly),
+    ]
+}
+
+proptest! {
+    /// The memoizer's upper-match bit must agree, event for event, with
+    /// a naive model that stores the full 64-bit last-store address and
+    /// compares all upper 48 bits — on arbitrary interleavings of
+    /// loads, stores, and bare record_store updates.
+    #[test]
+    fn pam_agrees_with_naive_full_address_compare(
+        ops in proptest::collection::vec(pam_op(), 1..200),
+    ) {
+        let mut pam = PartialAddressMemoizer::new();
+        let mut naive_last_store: Option<u64> = None;
+        let mut expected_matches = 0u64;
+        let mut expected_total = 0u64;
+        for op in &ops {
+            let broadcast = match op {
+                PamOp::Load(a) => Some((*a, pam.broadcast_load(*a))),
+                PamOp::Store(a) => Some((*a, pam.broadcast_store(*a))),
+                PamOp::RecordOnly(a) => {
+                    pam.record_store(*a);
+                    None
+                }
+            };
+            if let Some((addr, out)) = broadcast {
+                let naive_match =
+                    naive_last_store.is_some_and(|last| last >> 16 == addr >> 16);
+                prop_assert_eq!(
+                    out.upper_match, naive_match,
+                    "PAM and naive compare disagree at address {addr:#x}"
+                );
+                prop_assert_eq!(out.low16, addr as u16, "low 16 bits always broadcast");
+                expected_total += 1;
+                if naive_match {
+                    expected_matches += 1;
+                }
+            }
+            // Both broadcast_store and record_store update the reference.
+            match op {
+                PamOp::Store(a) | PamOp::RecordOnly(a) => naive_last_store = Some(*a),
+                PamOp::Load(_) => {}
+            }
+        }
+        prop_assert_eq!(pam.stats().total(), expected_total);
+        prop_assert_eq!(pam.stats().matches, expected_matches);
+    }
+
+    /// Every classification must reconstruct the original value from the
+    /// low 16 bits alone — or be Explicit, in which case no top-die
+    /// encoding could have (the lower dies are genuinely needed).
+    #[test]
+    fn encoding_round_trips_through_its_two_bit_code(
+        value in any::<u64>(),
+        addr in any::<u64>(),
+    ) {
+        let enc = UpperEncoding::classify(value, addr);
+        // The stored artifact is the 2-bit code, not the enum: the round
+        // trip must survive the array encoding.
+        let stored = UpperEncoding::from_code(enc.code());
+        prop_assert_eq!(stored, enc);
+        match stored.reconstruct(value as u16, addr) {
+            Some(v) => {
+                prop_assert!(stored.top_die_only());
+                prop_assert_eq!(v, value, "{stored} reconstructed the wrong value");
+            }
+            None => {
+                prop_assert_eq!(stored, UpperEncoding::Explicit);
+                for cand in
+                    [UpperEncoding::Zeros, UpperEncoding::Ones, UpperEncoding::AddrUpper]
+                {
+                    prop_assert_ne!(
+                        cand.reconstruct(value as u16, addr),
+                        Some(value),
+                        "classify chose Explicit but {cand} would have worked"
+                    );
+                }
+            }
+        }
+    }
+
+    /// All four 2-bit codes are reachable and each round-trips on a
+    /// value constructed to demand exactly that encoding.
+    #[test]
+    fn all_four_codes_round_trip_on_targeted_values(low in any::<u16>(), page in 1u64..1 << 40) {
+        let addr = (page << 16) | 0x8;
+        let cases = [
+            (low as u64, UpperEncoding::Zeros),
+            (!0xffffu64 | low as u64, UpperEncoding::Ones),
+            ((addr & !0xffff) | low as u64, UpperEncoding::AddrUpper),
+            ((0x5555_5555u64 << 16) | low as u64, UpperEncoding::Explicit),
+        ];
+        for (value, expected) in cases {
+            let enc = UpperEncoding::classify(value, addr);
+            // Construction can collide with a denser encoding (e.g. the
+            // Explicit pattern when page == 0x5555_5555 makes AddrUpper
+            // apply); equality of reconstruction is the real contract.
+            if enc == expected {
+                prop_assert_eq!(UpperEncoding::from_code(enc.code()), enc);
+                if let Some(v) = enc.reconstruct(low, addr) {
+                    prop_assert_eq!(v, value);
+                }
+            }
+            match expected {
+                // Zeros/Ones constructions are unambiguous: classify must
+                // pick exactly them (for page > 0 the address upper bits
+                // are neither all-zero nor all-one).
+                UpperEncoding::Zeros | UpperEncoding::Ones => {
+                    prop_assert_eq!(enc, expected)
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// One register-file event for the memo model comparison.
+#[derive(Clone, Debug)]
+enum MemoOp {
+    Write { entry: u8, value: u64 },
+    Force { entry: u8, full: bool },
+}
+
+fn memo_op(entries: u8) -> impl Strategy<Value = MemoOp> {
+    // Bias values toward the low/full boundary (small positives, small
+    // negatives, single high bits) so both widths occur often.
+    let value = prop_oneof![
+        any::<u64>(),
+        (0u64..0x10000).prop_map(|v| v),
+        any::<i16>().prop_map(|v| v as i64 as u64),
+        (16u32..64).prop_map(|b| 1u64 << b),
+    ];
+    prop_oneof![
+        (0..entries, value).prop_map(|(entry, value)| MemoOp::Write { entry, value }),
+        (0..entries, any::<bool>()).prop_map(|(entry, full)| MemoOp::Force { entry, full }),
+    ]
+}
+
+proptest! {
+    /// The memo file must track, per entry, exactly the classification
+    /// of the last write (or the last forced width), with untouched
+    /// entries staying low — under arbitrary interleaved sequences and
+    /// both width policies.
+    #[test]
+    fn memo_bits_match_a_shadow_register_file(
+        ops in proptest::collection::vec(memo_op(16), 0..300),
+        sign_extended in any::<bool>(),
+    ) {
+        let policy =
+            if sign_extended { WidthPolicy::SignExtended } else { WidthPolicy::ZeroUpper };
+        let mut memo = WidthMemoFile::new(16, policy);
+        let mut shadow = [Width::Low; 16];
+        for op in &ops {
+            match *op {
+                MemoOp::Write { entry, value } => {
+                    memo.record_write(entry as usize, value);
+                    shadow[entry as usize] = policy.classify(value);
+                }
+                MemoOp::Force { entry, full } => {
+                    let width = if full { Width::Full } else { Width::Low };
+                    memo.set(entry as usize, width);
+                    shadow[entry as usize] = width;
+                }
+            }
+        }
+        for (entry, &expected) in shadow.iter().enumerate() {
+            prop_assert_eq!(memo.width(entry), expected, "entry {entry} diverged");
+            // And the check() outcomes follow directly from the bit.
+            let unsafe_read = memo.check(entry, Width::Low) == MemoCheck::Unsafe;
+            prop_assert_eq!(unsafe_read, expected == Width::Full);
+            prop_assert_ne!(
+                memo.check(entry, Width::Full),
+                MemoCheck::Unsafe,
+                "full prediction can never be unsafe"
+            );
+        }
+    }
+}

@@ -243,7 +243,7 @@ mod tests {
         // The planted occurrence guarantees ≥1; random 8-mers over a
         // 4-letter alphabet give ~30000/65536 expected extras.
         assert!(hits >= 2, "no seed hits (two passes)");
-        assert!(hits % 2 == 0, "both passes must agree: {hits}");
+        assert!(hits.is_multiple_of(2), "both passes must agree: {hits}");
         assert!(hits < 100, "implausible hit count {hits}");
     }
 
